@@ -1,0 +1,103 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation disables one mechanism of the platform model and measures
+the effect on the paper observation that mechanism exists to reproduce:
+
+* NUMA masking (DCC)  -> CG's single-node collapse (Fig 4 / Table II);
+* HyperThreading (EC2) -> the 16-core performance drop (Fig 4);
+* Ethernet incast congestion (DCC) -> the multi-node FT/IS penalty;
+* ESX vSwitch latency tail (DCC)  -> the fluctuating OSU latency (Fig 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.npb import get_benchmark
+from repro.osu import osu_latency
+from repro.platforms import DCC, EC2
+from repro.virt.hypervisor import NoHypervisor
+
+
+def _cg8_dcc_comm(masked: bool) -> float:
+    spec = DCC if masked else dataclasses.replace(
+        DCC, hypervisor_factory=NoHypervisor
+    )
+    return get_benchmark("cg").run(spec, 8, seed=1).comm_percent
+
+
+def test_ablation_numa_masking(benchmark, report_sink):
+    """Without NUMA masking, DCC's CG@8 communication share collapses."""
+
+    def run():
+        return _cg8_dcc_comm(True), _cg8_dcc_comm(False)
+
+    with_mask, without_mask = benchmark.pedantic(run, iterations=1, rounds=1)
+    report_sink.append(
+        f"=== ablation: NUMA masking ===\nCG@8 DCC %comm: masked "
+        f"{with_mask:.1f} vs unmasked {without_mask:.1f}"
+    )
+    assert with_mask > 2.0 * without_mask
+
+
+def test_ablation_hyperthreading(benchmark, report_sink):
+    """With HT hidden (8 slots/node), EP@16 spans nodes and scales on."""
+
+    def run():
+        ht = get_benchmark("ep").run(EC2, 16, seed=1).projected_time
+        cpu = dataclasses.replace(EC2.node.cpu, smt_enabled=False)
+        node = dataclasses.replace(EC2.node, cpu=cpu)
+        no_ht_spec = dataclasses.replace(EC2, node=node)
+        no_ht = get_benchmark("ep").run(no_ht_spec, 16, seed=1).projected_time
+        return ht, no_ht
+
+    ht, no_ht = benchmark.pedantic(run, iterations=1, rounds=1)
+    report_sink.append(
+        f"=== ablation: HyperThreading ===\nEP.B.16 on EC2: HT-subscribed "
+        f"{ht:.1f}s vs 8-per-node {no_ht:.1f}s"
+    )
+    assert ht > 1.3 * no_ht  # HT oversubscription costs ~1.6x per rank
+
+
+def test_ablation_congestion(benchmark, report_sink):
+    """Without incast congestion the FT@16 DCC penalty shrinks."""
+
+    def run():
+        base = get_benchmark("ft").run(DCC, 16, seed=1).projected_time
+        fabric = dataclasses.replace(DCC.fabric, congestion_factor=1.0)
+        spec = dataclasses.replace(DCC, fabric=fabric)
+        no_congestion = get_benchmark("ft").run(spec, 16, seed=1).projected_time
+        return base, no_congestion
+
+    base, no_cong = benchmark.pedantic(run, iterations=1, rounds=1)
+    report_sink.append(
+        f"=== ablation: Ethernet congestion ===\nFT.B.16 on DCC: "
+        f"{base:.1f}s vs congestion-free {no_cong:.1f}s"
+    )
+    assert base > no_cong
+
+
+def test_ablation_vswitch_jitter(benchmark, report_sink):
+    """Without the ESX vSwitch, DCC's small-message latency stabilises."""
+
+    def run():
+        sizes = [2**k for k in range(0, 17)]
+        with_hv = osu_latency(DCC, sizes, iterations=30, seed=1)
+        bare = dataclasses.replace(DCC, hypervisor_factory=NoHypervisor)
+        without_hv = osu_latency(bare, sizes, iterations=30, seed=1)
+
+        def spread(curve):
+            vals = np.array(list(curve.values()))
+            return float((vals.max() - vals.min()) / vals.mean())
+
+        return spread(with_hv), spread(without_hv), with_hv[1], without_hv[1]
+
+    s_hv, s_bare, lat_hv, lat_bare = benchmark.pedantic(run, iterations=1, rounds=1)
+    report_sink.append(
+        "=== ablation: ESX vSwitch ===\n"
+        f"DCC 1B latency: {lat_hv * 1e6:.1f}us vs bare {lat_bare * 1e6:.1f}us; "
+        f"sub-128KB relative spread {s_hv:.2f} vs {s_bare:.2f}"
+    )
+    assert lat_hv > 1.5 * lat_bare

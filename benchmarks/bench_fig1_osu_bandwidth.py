@@ -1,0 +1,10 @@
+"""Fig 1 — OSU MPI bandwidth on DCC/EC2/Vayu.
+
+Windowed streaming-bandwidth sweep; checks the ~190/~560 MB/s Ethernet peaks
+and Vayu's order-of-magnitude InfiniBand margin.
+"""
+
+def test_fig1(run_and_report):
+    """Regenerate fig1 and record paper-vs-measured deltas."""
+    result = run_and_report("fig1")
+    assert result.experiment_id == "fig1"

@@ -1,0 +1,10 @@
+"""Fig 2 — OSU MPI latency on DCC/EC2/Vayu.
+
+Ping-pong latency sweep; DCC's vSwitch jitter produces the paper's
+fluctuating sub-512KB curve.
+"""
+
+def test_fig2(run_and_report):
+    """Regenerate fig2 and record paper-vs-measured deltas."""
+    result = run_and_report("fig2")
+    assert result.experiment_id == "fig2"

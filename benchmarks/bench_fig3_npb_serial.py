@@ -1,0 +1,10 @@
+"""Fig 3 — NPB class B single-process times.
+
+Absolute DCC wall times (the calibration anchors) plus EC2/Vayu
+normalised to DCC.
+"""
+
+def test_fig3(run_and_report):
+    """Regenerate fig3 and record paper-vs-measured deltas."""
+    result = run_and_report("fig3")
+    assert result.experiment_id == "fig3"

@@ -1,0 +1,10 @@
+"""Fig 4 — NPB class B speedup curves.
+
+Speedup panels per benchmark across the three platforms (quick mode
+runs a representative subset; pass quick=False for all eight).
+"""
+
+def test_fig4(run_and_report):
+    """Regenerate fig4 and record paper-vs-measured deltas."""
+    result = run_and_report("fig4")
+    assert result.experiment_id == "fig4"

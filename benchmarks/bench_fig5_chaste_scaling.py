@@ -1,0 +1,9 @@
+"""Fig 5 — Chaste total and KSp speedups.
+
+Vayu vs DCC scaling of the cardiac simulation and its KSp solver section.
+"""
+
+def test_fig5(run_and_report):
+    """Regenerate fig5 and record paper-vs-measured deltas."""
+    result = run_and_report("fig5")
+    assert result.experiment_id == "fig5"

@@ -1,0 +1,9 @@
+"""Fig 6 — MetUM warmed-time speedups.
+
+Vayu, DCC, EC2 (min-nodes) and EC2-4 (four-node) series.
+"""
+
+def test_fig6(run_and_report):
+    """Regenerate fig6 and record paper-vs-measured deltas."""
+    result = run_and_report("fig6")
+    assert result.experiment_id == "fig6"

@@ -1,0 +1,9 @@
+"""Fig 7 — UM per-process time breakdown.
+
+ATM_STEP compute/comm(user/system) bars per rank on Vayu and DCC.
+"""
+
+def test_fig7(run_and_report):
+    """Regenerate fig7 and record paper-vs-measured deltas."""
+    result = run_and_report("fig7")
+    assert result.experiment_id == "fig7"

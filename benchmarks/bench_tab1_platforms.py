@@ -1,0 +1,9 @@
+"""Table I — experimental platform inventory.
+
+Renders the three platform specifications exactly as Table I lays them out.
+"""
+
+def test_tab1(run_and_report):
+    """Regenerate tab1 and record paper-vs-measured deltas."""
+    result = run_and_report("tab1")
+    assert result.experiment_id == "tab1"

@@ -1,0 +1,9 @@
+"""Table II — IPM communication percentages.
+
+Percentage of wall time in MPI for CG, FT and IS vs process count.
+"""
+
+def test_tab2(run_and_report):
+    """Regenerate tab2 and record paper-vs-measured deltas."""
+    result = run_and_report("tab2")
+    assert result.experiment_id == "tab2"

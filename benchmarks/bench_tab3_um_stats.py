@@ -1,0 +1,9 @@
+"""Table III — UM statistics at 32 cores.
+
+time / rcomp / rcomm / %comm / %imbal / I/O per platform, Vayu-relative.
+"""
+
+def test_tab3(run_and_report):
+    """Regenerate tab3 and record paper-vs-measured deltas."""
+    result = run_and_report("tab3")
+    assert result.experiment_id == "tab3"

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Cardiac-model study — Chaste on Vayu vs DCC (paper Fig 5).
+
+Reproduces the Chaste analysis: total and KSp-section speedups on the
+two platforms the paper could run it on, plus the section-level IPM
+findings (KSp communication is entirely 4-byte all-reduces; DCC spends
+~half its time communicating at 32 cores).
+
+Run:  python examples/cardiac_study.py
+"""
+
+from repro.apps.chaste import ChasteBenchmark
+from repro.apps.chaste.model import KSP_REGION
+from repro.harness.figures import render_speedup_plot
+from repro.platforms import DCC, VAYU
+
+
+def main():
+    bench = ChasteBenchmark(sim_steps=3)
+    series = {}
+    results32 = {}
+    for spec in (VAYU, DCC):
+        totals, ksps = {}, {}
+        for p in (8, 16, 32, 48, 64):
+            r = bench.run(spec, p, seed=7)
+            totals[p] = r.total_time
+            ksps[p] = r.ksp_time
+            if p == 32:
+                results32[spec.name] = r
+        series[f"{spec.name} total"] = {p: totals[8] / t for p, t in totals.items()}
+        series[f"{spec.name} KSp"] = {p: ksps[8] / t for p, t in ksps.items()}
+        print(f"{spec.name:>5}: t8 total = {totals[8]:7.1f} s, KSp = {ksps[8]:7.1f} s")
+
+    print()
+    print(render_speedup_plot("Chaste speedup over 8 cores (Fig 5)", series))
+    print()
+
+    for name, r in results32.items():
+        ksp = r.monitor[0].regions[KSP_REGION]
+        sizes = sorted(ksp.call_sizes("MPI_Allreduce"))
+        print(
+            f"{name} @32: step comm {r.comm_percent():.0f}%, KSp comm "
+            f"{r.comm_percent(KSP_REGION):.0f}%, KSp all-reduce sizes: {sizes} bytes"
+        )
+    print("\n(The paper: KSp communication consists entirely of 4-byte "
+          "all-reduce operations; 48% comm on DCC vs 11% on Vayu.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: write an MPI program, run it on three platforms.
+
+The public API in three steps:
+
+1. write an SPMD program as a generator over the :class:`Comm` handle;
+2. run it with :func:`repro.run_program` on a calibrated platform model;
+3. read the IPM-style report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DCC, EC2, VAYU, run_program
+from repro.smpi import Placement
+
+
+def stencil_program(comm, iterations=50):
+    """A toy bulk-synchronous stencil: compute, halo swap, reduce."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    residual = None
+    with comm.region("solve"):
+        for _ in range(iterations):
+            # 20 Mflop of stencil updates streaming 16 MB per sweep.
+            yield from comm.compute(flops=2e7, mem_bytes=1.6e7, working_set=1.6e7)
+            if comm.size > 1:
+                yield from comm.sendrecv(right, 64 * 1024, left)
+            residual = yield from comm.allreduce(8, value=1.0 / comm.size)
+    return residual
+
+
+def main():
+    print(f"{'platform':>10} {'wall(s)':>9} {'comm%':>7} {'imbal%':>7}  residual")
+    for spec in (VAYU, DCC, EC2):
+        result = run_program(
+            spec, 16, stencil_program,
+            placement=Placement(strategy="block"),
+            seed=42,
+        )
+        report = result.report("solve")
+        print(
+            f"{spec.name:>10} {result.wall_time:9.3f} {report.comm_percent:7.1f} "
+            f"{report.imbalance_percent:7.1f}  {result.rank_results[0]:.3f}"
+        )
+    print("\nSame program, same seed — the platform model is the only variable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this project targets may lack the ``wheel`` package, which
+PEP 660 editable installs require; keeping a ``setup.py`` lets
+``pip install -e .`` fall back to the legacy ``develop`` path.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

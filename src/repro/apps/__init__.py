@@ -1,0 +1,27 @@
+"""The paper's two production-scale application workloads.
+
+* :mod:`repro.apps.metum` — the UK Met Office Unified Model (MetUM)
+  v7.8 global atmosphere benchmark on the N320L70 grid (640 x 481 x 70),
+  18 timesteps, 1.6 GB initial dump (paper section V-C.2, Fig 6,
+  Table III, Fig 7);
+* :mod:`repro.apps.chaste` — the Chaste v2.1 multi-scale cardiac
+  simulation on a ~4-million-node rabbit-heart mesh, 250 timesteps of a
+  monodomain solve with a conjugate-gradient ``KSp`` section (paper
+  section V-C.1, Fig 5).
+
+Both are *section-instrumented skeletons* in the style of the NPB
+modules: per-timestep compute bursts calibrated against the paper's
+``t8`` baselines, the real communication structure (halo exchanges,
+solver all-reduces, polar filtering), and the I/O phases through the
+platform filesystem models.
+"""
+
+from repro.apps.metum import MetumBenchmark, MetumConfig
+from repro.apps.chaste import ChasteBenchmark, ChasteConfig
+
+__all__ = [
+    "ChasteBenchmark",
+    "ChasteConfig",
+    "MetumBenchmark",
+    "MetumConfig",
+]

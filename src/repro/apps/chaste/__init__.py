@@ -1,0 +1,25 @@
+"""Chaste — multi-scale cardiac electrophysiology simulation.
+
+Paper configuration (section V-C.1): Chaste v2.1 built with Intel icpc
+11.1.046, high-resolution rabbit heart mesh (~4 million nodes, 24
+million elements), 2.0 ms simulation = 250 timesteps of a monodomain
+solve with a conjugate-gradient linear solver.  Chaste could not be
+installed on EC2 in the available time, so the paper (and this model's
+experiment index) compares Vayu and DCC only.
+
+Reported quantities: total and ``KSp``-section speedups (Fig 5), the
+32-core IPM analysis (48% communication on DCC vs 11% on Vayu; KSp
+communication "entirely 4-byte all-reduce operations"), and the I/O
+behaviour of the input-mesh and output sections.
+"""
+
+from repro.apps.chaste.mesh import HeartMesh, partition_stats
+from repro.apps.chaste.model import ChasteBenchmark, ChasteConfig, ChasteResult
+
+__all__ = [
+    "ChasteBenchmark",
+    "ChasteConfig",
+    "ChasteResult",
+    "HeartMesh",
+    "partition_stats",
+]

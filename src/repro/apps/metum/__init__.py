@@ -1,0 +1,22 @@
+"""MetUM — the UK Met Office Unified Model global atmosphere benchmark.
+
+Paper configuration (section V-C.2): UM v7.8, N320L70 grid
+(640 x 481 x 70), 2.5 simulated hours = 18 timesteps, Intel ifort
+11.1.072, no output data — the only I/O is the initial 1.6 GB dump read.
+Reported quantities: the "warmed" execution-time speedup (Fig 6),
+32-core statistics (Table III) and per-process ``ATM_STEP`` breakdowns
+(Fig 7).
+"""
+
+from repro.apps.metum.grid import N320L70, Subdomain, decompose, factor_procgrid
+from repro.apps.metum.model import MetumBenchmark, MetumConfig, MetumResult
+
+__all__ = [
+    "MetumBenchmark",
+    "MetumConfig",
+    "MetumResult",
+    "N320L70",
+    "Subdomain",
+    "decompose",
+    "factor_procgrid",
+]

@@ -1,0 +1,253 @@
+"""The ARRIVE-F relocation loop and throughput experiment.
+
+A heterogeneous compute farm runs several hardware platforms side by
+side.  Jobs are submitted to whichever platform has free capacity
+(naive placement); ARRIVE-F instead profiles each job shortly after it
+starts, predicts its runtime on every platform, and relocates it (live
+migration) when the predicted saving exceeds the migration cost.
+
+The headline experiment (:func:`throughput_experiment`) mirrors the
+published evaluation: a batch of mixed jobs on a farm of fast/slow
+platforms, scheduled naively vs with ARRIVE-F relocation, comparing mean
+job waiting + turnaround times.  The original framework "is able to
+improve the average job waiting times by up to 33%"; the reproduction's
+measured figure is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.arrivef.migration import MigrationModel
+from repro.arrivef.predictor import PlatformPredictor
+from repro.arrivef.profiler import OnlineProfile
+from repro.errors import ConfigError, SchedulerError
+from repro.platforms.base import PlatformSpec
+
+
+@dataclasses.dataclass(slots=True)
+class FarmJob:
+    """One job in the farm experiment."""
+
+    job_id: int
+    cores: int
+    #: Work expressed as runtime on the *reference* platform.
+    reference_runtime: float
+    submit_time: float
+    profile: OnlineProfile
+    vm_memory_bytes: float = 8e9
+
+    # runtime state
+    start_time: float | None = None
+    finish_time: float | None = None
+    platform_name: str | None = None
+    migrated: bool = False
+
+    @property
+    def wait_time(self) -> float:
+        if self.start_time is None:
+            raise SchedulerError(f"job {self.job_id} never started")
+        return self.start_time - self.submit_time
+
+    @property
+    def turnaround(self) -> float:
+        if self.finish_time is None:
+            raise SchedulerError(f"job {self.job_id} never finished")
+        return self.finish_time - self.submit_time
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RelocationPlan:
+    """A proposed job relocation."""
+
+    job_id: int
+    from_platform: str
+    to_platform: str
+    predicted_saving: float
+    migration_cost: float
+
+
+@dataclasses.dataclass(slots=True)
+class _Host:
+    spec: PlatformSpec
+    cores: int
+    free: int
+
+
+class ArriveF:
+    """The farm simulator, with and without relocation."""
+
+    def __init__(
+        self,
+        platforms: _t.Sequence[tuple[PlatformSpec, int]],
+        reference: PlatformSpec,
+        *,
+        migration: MigrationModel | None = None,
+        relocation: bool = True,
+    ) -> None:
+        if not platforms:
+            raise ConfigError("farm needs at least one platform")
+        self.hosts = [_Host(spec, cores, cores) for spec, cores in platforms]
+        self.predictor = PlatformPredictor(reference)
+        self.migration = migration or MigrationModel()
+        self.relocation = relocation
+
+    def _runtime_on(self, job: FarmJob, spec: PlatformSpec) -> float:
+        return self.predictor.predict(job.profile, job.reference_runtime, spec)
+
+    def run(self, jobs: _t.Sequence[FarmJob]) -> list[FarmJob]:
+        """Event-stepped execution of the batch; returns finished jobs.
+
+        *Naive* mode (``relocation=False``) is heterogeneity-oblivious:
+        first-fit over the host list, which is how the compute farms
+        ARRIVE-F targets behave — a latency-sensitive job can land on
+        the commodity-network host and occupy it for many times its
+        best-case runtime.
+
+        *ARRIVE-F* mode places each job on the free host with the
+        smallest *predicted* runtime (the online profile drives the
+        prediction), and whenever capacity frees up it reviews running
+        jobs: a job migrates to the freed host when the predicted saving
+        exceeds the live-migration cost.
+        """
+        pending = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        running: list[tuple[float, FarmJob, _Host]] = []  # (finish, job, host)
+        now = 0.0
+        queue: list[FarmJob] = []
+        finished: list[FarmJob] = []
+
+        def place(job: FarmJob, host: _Host, runtime: float, migrated: bool) -> None:
+            host.free -= job.cores
+            if job.start_time is None:
+                job.start_time = now
+            job.finish_time = now + runtime
+            job.platform_name = host.spec.name
+            job.migrated = job.migrated or migrated
+            running.append((job.finish_time, job, host))
+            running.sort(key=lambda t: t[0])
+
+        def try_start(job: FarmJob) -> bool:
+            candidates = [h for h in self.hosts if h.free >= job.cores]
+            if not candidates:
+                return False
+            if self.relocation:
+                host = min(candidates, key=lambda h: self._runtime_on(job, h.spec))
+            else:
+                host = candidates[0]
+            place(job, host, self._runtime_on(job, host.spec), migrated=False)
+            return True
+
+        def review_migrations() -> None:
+            """Move a running job to newly freed, better capacity."""
+            if not self.relocation:
+                return
+            improved = True
+            while improved:
+                improved = False
+                for idx, (finish, job, host) in enumerate(running):
+                    remaining = finish - now
+                    if remaining <= 0:
+                        continue
+                    frac_left = remaining / self._runtime_on(job, host.spec)
+                    best: tuple[float, _Host] | None = None
+                    for cand in self.hosts:
+                        if cand is host or cand.free < job.cores:
+                            continue
+                        alt = self._runtime_on(job, cand.spec) * frac_left
+                        cost = self.migration.total_seconds(job.vm_memory_bytes)
+                        if alt + cost < remaining and (best is None or alt < best[0]):
+                            best = (alt + cost, cand)
+                    if best is not None:
+                        host.free += job.cores
+                        running.pop(idx)
+                        place(job, best[1], best[0], migrated=True)
+                        improved = True
+                        break
+
+        while pending or queue or running:
+            # Admit arrivals at the current time.
+            while pending and pending[0].submit_time <= now:
+                queue.append(pending.pop(0))
+            # Start whatever fits, FIFO.
+            made_progress = True
+            while made_progress:
+                made_progress = False
+                for job in list(queue):
+                    if try_start(job):
+                        queue.remove(job)
+                        made_progress = True
+            # Advance to the next event.
+            candidates = []
+            if running:
+                candidates.append(running[0][0])
+            if pending:
+                candidates.append(pending[0].submit_time)
+            if not candidates:
+                break
+            now = min(candidates)
+            freed = False
+            while running and running[0][0] <= now:
+                _, job, host = running.pop(0)
+                host.free += job.cores
+                finished.append(job)
+                freed = True
+            if freed:
+                review_migrations()
+        return finished
+
+
+def throughput_experiment(
+    *,
+    n_jobs: int = 60,
+    seed: int = 0,
+) -> dict[str, float]:
+    """The ARRIVE-F headline comparison on a synthetic two-tier farm.
+
+    Returns mean waits/turnarounds for naive and relocating runs plus
+    the relative improvement.
+    """
+    import numpy as np
+
+    from repro.platforms import DCC, VAYU
+
+    rng = np.random.default_rng(seed)
+    jobs_naive, jobs_arrive = [], []
+    t = 0.0
+    for i in range(n_jobs):
+        t += float(rng.exponential(240.0))
+        comm = float(rng.uniform(0.02, 0.5))
+        prof = OnlineProfile(
+            comm_fraction=comm,
+            small_msg_fraction=float(rng.uniform(0.1, 0.9)),
+            mem_boundedness=float(rng.uniform(0.1, 0.9)),
+            mean_msg_bytes=float(rng.uniform(64, 1 << 20)),
+        )
+        shape = dict(
+            job_id=i,
+            cores=int(rng.choice([8, 16, 32])),
+            reference_runtime=float(rng.uniform(600, 7200)),
+            submit_time=t,
+            profile=prof,
+        )
+        jobs_naive.append(FarmJob(**shape))
+        jobs_arrive.append(FarmJob(**shape))
+
+    # A genuinely heterogeneous farm: the commodity-network tier is
+    # listed first, so naive first-fit parks latency-sensitive jobs
+    # there — the pathology ARRIVE-F exists to fix.
+    farm = [(DCC, 64), (VAYU, 64)]
+    naive = ArriveF(farm, reference=VAYU, relocation=False).run(jobs_naive)
+    smart = ArriveF(farm, reference=VAYU, relocation=True).run(jobs_arrive)
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    wait_naive = mean([j.wait_time for j in naive])
+    wait_smart = mean([j.wait_time for j in smart])
+    return {
+        "mean_wait_naive": wait_naive,
+        "mean_wait_arrivef": wait_smart,
+        "wait_improvement_pct": 100.0 * (wait_naive - wait_smart) / wait_naive
+        if wait_naive > 0
+        else 0.0,
+        "mean_turnaround_naive": mean([j.turnaround for j in naive]),
+        "mean_turnaround_arrivef": mean([j.turnaround for j in smart]),
+    }

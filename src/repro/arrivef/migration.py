@@ -1,0 +1,49 @@
+"""Live-migration cost model.
+
+ARRIVE-F relocates jobs by live-migrating their VMs.  Pre-copy live
+migration transfers the VM's memory over the network while it runs,
+re-sending pages dirtied during each round, then pauses briefly for the
+final round: total time ~ ``memory / bandwidth`` inflated by the
+dirty-page geometric series, downtime ~ final writable-working-set
+transfer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MigrationModel:
+    """Pre-copy live migration parameters."""
+
+    #: Network bandwidth available to migration traffic (bytes/s).
+    link_bw: float = 1.0e9
+    #: Fraction of transferred pages re-dirtied per pre-copy round.
+    dirty_rate: float = 0.25
+    #: Pre-copy rounds before the stop-and-copy.
+    rounds: int = 4
+    #: Fixed control-plane overhead (seconds).
+    setup_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.link_bw <= 0 or not (0.0 <= self.dirty_rate < 1.0):
+            raise ConfigError(f"invalid MigrationModel: {self}")
+        if self.rounds < 1:
+            raise ConfigError(f"rounds must be >= 1: {self.rounds}")
+
+    def total_seconds(self, vm_memory_bytes: float) -> float:
+        """Wall time of the whole migration."""
+        if vm_memory_bytes < 0:
+            raise ConfigError(f"negative VM memory: {vm_memory_bytes}")
+        transferred = vm_memory_bytes * sum(
+            self.dirty_rate**k for k in range(self.rounds)
+        )
+        transferred += vm_memory_bytes * self.dirty_rate**self.rounds  # final copy
+        return self.setup_seconds + transferred / self.link_bw
+
+    def downtime_seconds(self, vm_memory_bytes: float) -> float:
+        """Stop-and-copy pause (the part the job actually feels)."""
+        return vm_memory_bytes * self.dirty_rate**self.rounds / self.link_bw

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``platforms``
+    Print the Table-I platform inventory.
+``experiments``
+    List the registered paper experiments.
+``run <ids...>``
+    Regenerate experiments (``all`` for everything); ``--full`` runs the
+    complete sweeps, ``--json``/``--csv``/``--out`` export results.
+``osu <platform>``
+    Run the OSU latency + bandwidth pair on one platform.
+``npb <bench> <platform> <nprocs>``
+    Run one NPB benchmark point and print its result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from repro.errors import ReproError
+
+
+def _cmd_platforms(_args: argparse.Namespace) -> int:
+    from repro.platforms import platform_table
+
+    print(platform_table())
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    from repro.harness.experiments import EXPERIMENTS
+
+    for eid, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{eid:<10} {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import EXPERIMENTS
+    from repro.harness.runner import run_batch
+
+    ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
+    batch = run_batch(
+        ids, quick=not args.full, seed=args.seed,
+        progress=lambda eid: print(f"[running] {eid}", file=sys.stderr),
+    )
+    print(batch.render())
+    if args.json:
+        batch.write_json(args.json)
+        print(f"[written] {args.json}", file=sys.stderr)
+    if args.csv:
+        batch.write_csv(args.csv)
+        print(f"[written] {args.csv}", file=sys.stderr)
+    if args.out:
+        batch.write_text(args.out)
+        print(f"[written] {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_osu(args: argparse.Namespace) -> int:
+    from repro.osu import osu_bandwidth, osu_latency
+    from repro.platforms import get_platform
+
+    spec = get_platform(args.platform)
+    sizes = [2**k for k in range(0, 23, 2)]
+    lat = osu_latency(spec, sizes, iterations=50, seed=args.seed)
+    bw = osu_bandwidth(spec, sizes, iterations=10, seed=args.seed)
+    print(f"# OSU on {spec.name}")
+    print(f"{'bytes':>9} {'latency(us)':>12} {'bw(MB/s)':>10}")
+    for n in sizes:
+        print(f"{n:>9} {lat[n] * 1e6:>12.2f} {bw[n] / 1e6:>10.1f}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.npb.kernels.validate import render_verifications, run_all_verifications
+
+    records = run_all_verifications(
+        quick=not args.full,
+        progress=lambda name: print(f"[verify] {name}", file=sys.stderr),
+    )
+    print(render_verifications(records))
+    return 0 if all(r.passed for r in records) else 1
+
+
+def _cmd_npb(args: argparse.Namespace) -> int:
+    from repro.npb import get_benchmark
+    from repro.platforms import get_platform
+
+    bench = get_benchmark(args.bench, klass=args.klass)
+    result = bench.run(get_platform(args.platform), args.nprocs, seed=args.seed)
+    print(f"{result.label()} on {result.platform}:")
+    print(f"  projected time : {result.projected_time:10.2f} s")
+    print(f"  per-iteration  : {result.per_iter_time:10.4f} s")
+    print(f"  %comm (steady) : {result.comm_percent:10.1f} %")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPC/private/public-cloud performance study framework",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="print the Table-I platform inventory")
+    sub.add_parser("experiments", help="list registered paper experiments")
+
+    run = sub.add_parser("run", help="regenerate paper experiments")
+    run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run.add_argument("--full", action="store_true", help="full sweeps (slower)")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--json", help="export comparisons as JSON")
+    run.add_argument("--csv", help="export comparisons as CSV")
+    run.add_argument("--out", help="write the text report to a file")
+
+    osu = sub.add_parser("osu", help="run OSU latency/bandwidth on a platform")
+    osu.add_argument("platform", choices=["vayu", "dcc", "ec2"])
+    osu.add_argument("--seed", type=int, default=1)
+
+    verify = sub.add_parser(
+        "verify", help="run all numeric-kernel verifications"
+    )
+    verify.add_argument("--full", action="store_true", help="larger problems")
+
+    npb = sub.add_parser("npb", help="run one NPB benchmark point")
+    npb.add_argument("bench")
+    npb.add_argument("platform", choices=["vayu", "dcc", "ec2"])
+    npb.add_argument("nprocs", type=int)
+    npb.add_argument("--class", dest="klass", default="B")
+    npb.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+_COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
+    "platforms": _cmd_platforms,
+    "experiments": _cmd_experiments,
+    "run": _cmd_run,
+    "osu": _cmd_osu,
+    "npb": _cmd_npb,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. piping into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Cloud provisioning: simulated EC2, StarCluster, pricing, packaging.
+
+This subpackage models the operational side of the paper:
+
+* :mod:`repro.cloud.modulesenv` — the ``modules``-managed ``/apps``
+  software stack of a traditional HPC facility;
+* :mod:`repro.cloud.packaging` — building applications inside that
+  environment and rsync-packaging the dependency closure into a
+  :class:`~repro.virt.vmimage.VmImage` (including the ISA-compatibility
+  check that would have caught the paper's SSE4 incident);
+* :mod:`repro.cloud.ec2api` — a small EC2 control plane: instance
+  types, cluster placement groups, boot latencies and the occasional
+  boot failure reported for real EC2 HPC work;
+* :mod:`repro.cloud.starcluster` — a StarCluster-style launcher on top
+  of the EC2 API (master + NFS + compute nodes, retries on boot
+  failure);
+* :mod:`repro.cloud.pricing` — on-demand and spot pricing (the paper's
+  future work integrates spot pricing into the ANUPBS scheduler).
+"""
+
+from repro.cloud.ec2api import Ec2Api, Instance, InstanceType, CC1_4XLARGE
+from repro.cloud.modulesenv import ModulesEnvironment
+from repro.cloud.packaging import BuildRecipe, HpcEnvironment, PackagingError
+from repro.cloud.pricing import PriceBook, SpotMarket
+from repro.cloud.starcluster import ClusterTemplate, StarCluster
+
+__all__ = [
+    "BuildRecipe",
+    "CC1_4XLARGE",
+    "ClusterTemplate",
+    "Ec2Api",
+    "HpcEnvironment",
+    "Instance",
+    "InstanceType",
+    "ModulesEnvironment",
+    "PackagingError",
+    "PriceBook",
+    "SpotMarket",
+    "StarCluster",
+]

@@ -1,0 +1,190 @@
+"""A small simulated EC2 control plane.
+
+Enough surface for the StarCluster launcher and the cloudburst
+scheduler: instance types, cluster placement groups (full-bisection
+10 GigE, as used by the paper's cc1.4xlarge runs), asynchronous instance
+boot with realistic latencies and the occasional boot failure ("images
+not booting up correctly" is one of the EC2 frictions the related work
+reports), plus spot-instance support backed by
+:class:`~repro.cloud.pricing.SpotMarket`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as _t
+
+from repro.cloud.pricing import PriceBook, SpotMarket
+from repro.errors import CloudError
+from repro.platforms.ec2 import EC2 as _EC2_SPEC
+from repro.sim.rng import RandomStreams
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class InstanceType:
+    """An EC2 instance offering."""
+
+    name: str
+    vcpus: int
+    memory_bytes: int
+    network: str
+    hourly_usd: float
+    cluster_compute: bool = False
+
+
+#: The paper's instance: Cluster Compute Quadruple Extra Large.
+CC1_4XLARGE = InstanceType(
+    name="cc1.4xlarge",
+    vcpus=16,
+    memory_bytes=20 << 30,
+    network="10 GigE (placement group)",
+    hourly_usd=1.60,  # 2011/12 us-east on-demand price
+    cluster_compute=True,
+)
+
+M1_LARGE = InstanceType(
+    name="m1.large",
+    vcpus=2,
+    memory_bytes=7 << 30,
+    network="1 GigE (shared)",
+    hourly_usd=0.34,
+)
+
+
+@dataclasses.dataclass(slots=True)
+class Instance:
+    """A running (or booting/failed) instance."""
+
+    instance_id: str
+    itype: InstanceType
+    placement_group: str | None
+    spot: bool
+    state: str = "pending"  # pending | running | failed | terminated
+    boot_seconds: float = 0.0
+    launch_time: float = 0.0
+    terminate_time: float | None = None
+
+
+class Ec2Api:
+    """The control plane: launch, poll, terminate, and billing."""
+
+    def __init__(
+        self,
+        region: str = "us-east-1",
+        *,
+        seed: int = 0,
+        boot_failure_rate: float = 0.03,
+        mean_boot_seconds: float = 95.0,
+        prices: PriceBook | None = None,
+    ) -> None:
+        self.region = region
+        self.rng = RandomStreams(seed).stream(f"ec2:{region}")
+        self.boot_failure_rate = boot_failure_rate
+        self.mean_boot_seconds = mean_boot_seconds
+        self.prices = prices or PriceBook()
+        self.spot_market = SpotMarket(seed=seed)
+        self.instances: dict[str, Instance] = {}
+        self.placement_groups: set[str] = set()
+        self._ids = itertools.count(1)
+        #: Wall clock of the control plane (advanced by :meth:`wait`).
+        self.now = 0.0
+
+    # -- control-plane operations ---------------------------------------------
+    def create_placement_group(self, name: str) -> None:
+        """Create a cluster placement group."""
+        if name in self.placement_groups:
+            raise CloudError(f"placement group {name!r} already exists")
+        self.placement_groups.add(name)
+
+    def run_instances(
+        self,
+        itype: InstanceType,
+        count: int,
+        placement_group: str | None = None,
+        spot: bool = False,
+        spot_bid: float | None = None,
+    ) -> list[Instance]:
+        """Request ``count`` instances; they boot asynchronously."""
+        if count < 1:
+            raise CloudError(f"count must be >= 1: {count}")
+        if placement_group is not None:
+            if placement_group not in self.placement_groups:
+                raise CloudError(f"unknown placement group {placement_group!r}")
+            if not itype.cluster_compute:
+                raise CloudError(
+                    f"{itype.name} cannot join a cluster placement group"
+                )
+        if spot:
+            price = self.spot_market.current_price(itype, self.now)
+            if spot_bid is None or spot_bid < price:
+                raise CloudError(
+                    f"spot bid {spot_bid!r} below current price {price:.3f}"
+                )
+        out = []
+        for _ in range(count):
+            iid = f"i-{next(self._ids):08x}"
+            failed = self.rng.random() < self.boot_failure_rate
+            boot = float(self.rng.gamma(4.0, self.mean_boot_seconds / 4.0))
+            inst = Instance(
+                instance_id=iid,
+                itype=itype,
+                placement_group=placement_group,
+                spot=spot,
+                state="failed" if failed else "pending",
+                boot_seconds=boot,
+                launch_time=self.now,
+            )
+            self.instances[iid] = inst
+            out.append(inst)
+        return out
+
+    def wait(self, seconds: float) -> None:
+        """Advance control-plane time; pending instances may come up."""
+        if seconds < 0:
+            raise CloudError(f"negative wait: {seconds}")
+        self.now += seconds
+        for inst in self.instances.values():
+            if inst.state == "pending" and self.now - inst.launch_time >= inst.boot_seconds:
+                inst.state = "running"
+
+    def describe(self, state: str | None = None) -> list[Instance]:
+        """Instances, optionally filtered by state."""
+        values = list(self.instances.values())
+        return [i for i in values if state is None or i.state == state]
+
+    def terminate(self, instance_ids: _t.Iterable[str]) -> None:
+        """Terminate instances (idempotent for already-dead ones)."""
+        for iid in instance_ids:
+            inst = self.instances.get(iid)
+            if inst is None:
+                raise CloudError(f"no such instance {iid!r}")
+            if inst.state in ("terminated",):
+                continue
+            inst.state = "terminated"
+            inst.terminate_time = self.now
+
+    # -- billing ------------------------------------------------------------------
+    def billed_usd(self) -> float:
+        """Total charges so far (hour granularity, as EC2 billed then)."""
+        total = 0.0
+        for inst in self.instances.values():
+            if inst.state == "failed":
+                continue
+            end = inst.terminate_time if inst.terminate_time is not None else self.now
+            hours = max(0.0, end - inst.launch_time) / 3600.0
+            billed_hours = max(1, int(-(-hours // 1))) if hours > 0 else 0
+            rate = (
+                self.spot_market.current_price(inst.itype, inst.launch_time)
+                if inst.spot
+                else inst.itype.hourly_usd
+            )
+            total += billed_hours * rate
+        return total
+
+
+def platform_for_cluster(num_nodes: int) -> _t.Any:
+    """The performance-model platform for a cc1.4xlarge cluster."""
+    import dataclasses as _dc
+
+    return _dc.replace(_EC2_SPEC, num_nodes=num_nodes)

@@ -1,0 +1,120 @@
+"""The ``modules``-managed software stack of an HPC facility.
+
+On Vayu "system-wide application compilers, support libraries, runtimes
+and application codes are configured and installed into the ``/apps``
+directory.  The modules software package is then used to manage versions
+and append appropriate environment variables" (paper section IV).  This
+is a functional model of exactly that: versioned packages with
+dependencies, ``load``/``unload`` semantics, and an environment snapshot
+that the packaging workflow replicates into VM images.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import CloudError
+from repro.virt.vmimage import InstalledPackage
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ModuleDef:
+    """One installable module (name/version plus dependencies)."""
+
+    name: str
+    version: str
+    requires: tuple[str, ...] = ()
+    #: Approximate installed size, used to cost the rsync replication.
+    size_bytes: int = 200 << 20
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}/{self.version}"
+
+
+class ModulesEnvironment:
+    """An ``/apps`` tree plus the set of currently loaded modules."""
+
+    def __init__(self, prefix: str = "/apps") -> None:
+        self.prefix = prefix
+        self._available: dict[str, ModuleDef] = {}
+        self._default_version: dict[str, str] = {}
+        self._loaded: dict[str, ModuleDef] = {}
+
+    # -- installation (facility admin side) ----------------------------------
+    def install(self, module: ModuleDef, default: bool = True) -> None:
+        """Install a module into ``/apps``."""
+        if module.key in self._available:
+            raise CloudError(f"module {module.key} already installed")
+        for dep in module.requires:
+            if not self._find(dep):
+                raise CloudError(
+                    f"module {module.key} requires {dep!r}, which is not installed"
+                )
+        self._available[module.key] = module
+        if default or module.name not in self._default_version:
+            self._default_version[module.name] = module.version
+
+    def _find(self, spec: str) -> ModuleDef | None:
+        if "/" in spec:
+            return self._available.get(spec)
+        version = self._default_version.get(spec)
+        return self._available.get(f"{spec}/{version}") if version else None
+
+    # -- user side -------------------------------------------------------------
+    def avail(self) -> list[str]:
+        """``module avail``: sorted module keys."""
+        return sorted(self._available)
+
+    def load(self, spec: str) -> ModuleDef:
+        """``module load``: loads a module and its dependency closure."""
+        module = self._find(spec)
+        if module is None:
+            raise CloudError(f"module {spec!r} not found (avail: {self.avail()})")
+        current = self._loaded.get(module.name)
+        if current is not None and current.version != module.version:
+            raise CloudError(
+                f"module {module.name}/{current.version} already loaded; "
+                f"unload it before loading {module.version}"
+            )
+        for dep in module.requires:
+            self.load(dep)
+        self._loaded[module.name] = module
+        return module
+
+    def unload(self, name: str) -> None:
+        """``module unload``."""
+        if name not in self._loaded:
+            raise CloudError(f"module {name!r} is not loaded")
+        del self._loaded[name]
+
+    def loaded(self) -> list[ModuleDef]:
+        """Loaded modules in name order."""
+        return [self._loaded[k] for k in sorted(self._loaded)]
+
+    # -- packaging support ---------------------------------------------------------
+    def closure(self, specs: _t.Iterable[str]) -> list[ModuleDef]:
+        """Dependency closure of ``specs`` (each module once, dep-first)."""
+        seen: dict[str, ModuleDef] = {}
+
+        def visit(spec: str) -> None:
+            module = self._find(spec)
+            if module is None:
+                raise CloudError(f"module {spec!r} not found")
+            if module.key in seen:
+                return
+            for dep in module.requires:
+                visit(dep)
+            seen[module.key] = module
+
+        for spec in specs:
+            visit(spec)
+        return list(seen.values())
+
+    def as_packages(self, modules: _t.Iterable[ModuleDef]) -> tuple[InstalledPackage, ...]:
+        """Convert modules to image package entries (``/apps`` layout)."""
+        return tuple(
+            InstalledPackage(name=m.name, version=m.version, prefix=self.prefix)
+            for m in modules
+        )

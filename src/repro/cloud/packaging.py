@@ -1,0 +1,139 @@
+"""Building applications in the HPC environment and packaging them.
+
+The paper's workflow: "build application codes on the Vayu within a
+user's home/project directories and then rsync the requisite libraries,
+runtimes (into /apps) on a VM and the application binaries into the
+home/project directories on the VM, which is then deployed either on the
+private VM cluster or on EC2 instances".
+
+Two things can go wrong, both modelled:
+
+* a missing dependency (rsync closure incomplete) — caught by
+  :meth:`~repro.virt.vmimage.VmImage.missing_dependencies`;
+* an ISA mismatch — "the use of non-ubiquitous features such as SSE4
+  ... which can be avoided by the selection of suitable compilation
+  switches" (paper section VI).  Building with ``-xSSE4.2`` on a
+  Nehalem host bakes an SSE4 requirement into the binary;
+  :func:`deploy_check` reproduces the failure when the image lands on a
+  host (or hypervisor CPUID mask) lacking the feature.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cloud.modulesenv import ModulesEnvironment
+from repro.errors import CloudError
+from repro.platforms.base import PlatformSpec
+from repro.virt.vmimage import ApplicationBinary, VmImage
+
+
+class PackagingError(CloudError):
+    """The packaged image would not run where it is being deployed."""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BuildRecipe:
+    """How an application is compiled in the HPC environment."""
+
+    app_name: str
+    app_version: str
+    compiler_module: str
+    compiler_flags: tuple[str, ...] = ()
+    module_deps: tuple[str, ...] = ()
+
+    def isa_requirements(self, host: PlatformSpec) -> frozenset[str]:
+        """ISA features the produced binary requires at run time.
+
+        ``-xHost``-style flags bake in everything the build host offers;
+        explicit ``-xSSE4.2`` requires SSE4 regardless; conservative
+        ``-msse3`` builds carry only the baseline.
+        """
+        flags = set()
+        for flag in self.compiler_flags:
+            if flag in ("-xHost", "-xhost"):
+                flags |= host.isa_features
+            elif flag.lower() in ("-xsse4.2", "-xsse4.1", "-msse4"):
+                flags.add("sse4")
+            elif flag.lower() in ("-msse3", "-xsse3"):
+                flags.add("sse3")
+        return frozenset(flags)
+
+
+class HpcEnvironment:
+    """A facility's build environment (its platform + modules tree)."""
+
+    def __init__(self, platform: PlatformSpec, modules: ModulesEnvironment) -> None:
+        self.platform = platform
+        self.modules = modules
+        self._binaries: dict[str, ApplicationBinary] = {}
+
+    def build(self, recipe: BuildRecipe) -> ApplicationBinary:
+        """Compile an application (loads its modules, records the binary)."""
+        self.modules.load(recipe.compiler_module)
+        for dep in recipe.module_deps:
+            self.modules.load(dep)
+        binary = ApplicationBinary(
+            name=recipe.app_name,
+            version=recipe.app_version,
+            compiler=recipe.compiler_module,
+            isa_flags=recipe.isa_requirements(self.platform),
+            requires=tuple(
+                spec.split("/")[0]
+                for spec in (recipe.compiler_module, *recipe.module_deps)
+            ),
+        )
+        self._binaries[recipe.app_name] = binary
+        return binary
+
+    def package(
+        self,
+        image_name: str,
+        apps: _t.Sequence[str],
+        os_name: str = "CentOS 5.7",
+    ) -> VmImage:
+        """rsync the apps plus their module closure into a VM image."""
+        binaries = []
+        module_specs: list[str] = []
+        for app in apps:
+            binary = self._binaries.get(app)
+            if binary is None:
+                raise CloudError(f"application {app!r} has not been built here")
+            binaries.append(binary)
+            module_specs.extend(binary.requires)
+        closure = self.modules.closure(module_specs)
+        image = VmImage(
+            name=image_name,
+            os_name=os_name,
+            packages=self.modules.as_packages(closure),
+            binaries=tuple(binaries),
+            size_bytes=(4 << 30) + sum(m.size_bytes for m in closure),
+        )
+        missing = image.missing_dependencies()
+        if missing:
+            raise PackagingError(f"incomplete dependency closure: {missing}")
+        return image
+
+    def rsync_seconds(self, image: VmImage, link_bw: float = 50e6) -> float:
+        """Time to replicate the image content over a ``link_bw`` link."""
+        return image.size_bytes / link_bw
+
+
+def deploy_check(image: VmImage, target: PlatformSpec) -> None:
+    """Validate an image against a deployment target.
+
+    Raises :class:`PackagingError` describing every binary whose ISA
+    requirements the target's (guest-visible) CPU features do not meet —
+    the pre-flight check the paper's SSE4 incident motivates.
+    """
+    problems = image.check_isa(target.isa_features)
+    if problems:
+        details = "; ".join(
+            f"{name} needs {'+'.join(feats)}" for name, feats in sorted(problems.items())
+        )
+        raise PackagingError(
+            f"image {image.name!r} is not runnable on {target.name}: {details} "
+            f"(guest-visible features: {sorted(target.isa_features)}). "
+            "Rebuild with conservative compilation switches."
+        )

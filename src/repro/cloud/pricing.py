@@ -1,0 +1,112 @@
+"""On-demand and spot pricing models.
+
+The paper's future work plans "to integrate Amazon EC2 spot-pricing into
+our local ANUPBS scheduler, to avail of price competitive compute
+resources".  The spot market here is a mean-reverting log-price process
+with occasional demand spikes — the qualitative behaviour of the
+2011-2012 EC2 spot market: long stretches near ~30-40% of on-demand,
+punctuated by spikes above it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+from repro.errors import CloudError
+from repro.sim.rng import RandomStreams
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.ec2api import InstanceType
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PriceBook:
+    """On-demand price access and simple cost arithmetic."""
+
+    currency: str = "USD"
+
+    def on_demand_hourly(self, itype: "InstanceType") -> float:
+        return itype.hourly_usd
+
+    def job_cost(
+        self, itype: "InstanceType", nodes: int, hours: float, rate: float | None = None
+    ) -> float:
+        """Cost of ``nodes`` instances for ``hours`` (hour-rounded)."""
+        if nodes < 1 or hours < 0:
+            raise CloudError(f"invalid job shape: nodes={nodes}, hours={hours}")
+        billed = max(1, math.ceil(hours)) if hours > 0 else 0
+        return nodes * billed * (rate if rate is not None else itype.hourly_usd)
+
+
+class SpotMarket:
+    """A mean-reverting spot-price process per instance type.
+
+    ``log(price/anchor)`` follows an Ornstein-Uhlenbeck walk sampled on
+    a fixed tick; demand spikes multiply the price by 2-4x and decay.
+    Deterministic per seed, and *memoised per tick* so all observers see
+    one consistent price series.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        anchor_fraction: float = 0.35,
+        tick_seconds: float = 300.0,
+        reversion: float = 0.05,
+        volatility: float = 0.08,
+        spike_prob: float = 0.004,
+    ) -> None:
+        self.anchor_fraction = anchor_fraction
+        self.tick_seconds = tick_seconds
+        self.reversion = reversion
+        self.volatility = volatility
+        self.spike_prob = spike_prob
+        self._streams = RandomStreams(seed).child("spot")
+        self._series: dict[str, list[float]] = {}
+
+    def _extend(self, itype: "InstanceType", ticks: int) -> list[float]:
+        series = self._series.setdefault(itype.name, [0.0])  # log-ratio
+        rng = self._streams.stream(itype.name)
+        while len(series) <= ticks:
+            x = series[-1]
+            x += -self.reversion * x + self.volatility * float(rng.standard_normal())
+            if rng.random() < self.spike_prob:
+                x += math.log(float(rng.uniform(2.0, 4.0)))
+            series.append(x)
+        return series
+
+    def current_price(self, itype: "InstanceType", now_seconds: float) -> float:
+        """Spot price (USD/hour) at absolute time ``now_seconds``."""
+        if now_seconds < 0:
+            raise CloudError(f"negative time: {now_seconds}")
+        tick = int(now_seconds // self.tick_seconds)
+        series = self._extend(itype, tick)
+        anchor = itype.hourly_usd * self.anchor_fraction
+        return anchor * math.exp(series[tick])
+
+    def price_history(
+        self, itype: "InstanceType", horizon_seconds: float
+    ) -> list[tuple[float, float]]:
+        """``(time, price)`` samples up to ``horizon_seconds``."""
+        ticks = int(horizon_seconds // self.tick_seconds)
+        series = self._extend(itype, ticks)
+        anchor = itype.hourly_usd * self.anchor_fraction
+        return [
+            (i * self.tick_seconds, anchor * math.exp(series[i]))
+            for i in range(ticks + 1)
+        ]
+
+    def would_outbid(
+        self, itype: "InstanceType", bid: float, start: float, duration: float
+    ) -> bool:
+        """True if the spot price stays at or below ``bid`` throughout
+        ``[start, start + duration]`` (i.e. the instance survives)."""
+        t = start
+        while t <= start + duration:
+            if self.current_price(itype, t) > bid:
+                return False
+            t += self.tick_seconds
+        return True

@@ -1,0 +1,151 @@
+"""A StarCluster-style cluster launcher on the simulated EC2 API.
+
+"StarCluster is an open-source toolkit which allows for the launching of
+custom scientific computing clusters on EC2.  It automates the building,
+configuration and management of compute nodes" (paper section IV).  The
+launcher here does the same against :class:`~repro.cloud.ec2api.Ec2Api`:
+creates the placement group, boots master + compute nodes (replacing
+boot failures), "configures" NFS and the image's software stack, and
+hands back a cluster whose performance model is the calibrated EC2
+platform at the requested node count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cloud.ec2api import CC1_4XLARGE, Ec2Api, Instance, InstanceType
+from repro.cloud.packaging import deploy_check
+from repro.errors import CloudError
+from repro.platforms.base import PlatformSpec
+from repro.virt.vmimage import VmImage
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ClusterTemplate:
+    """A StarCluster config-file cluster template."""
+
+    name: str
+    size: int
+    instance_type: InstanceType = CC1_4XLARGE
+    image: VmImage | None = None
+    placement_group: bool = True
+    spot: bool = False
+    spot_bid: float | None = None
+    #: Give up if a node fails to boot this many times.
+    max_boot_retries: int = 3
+
+
+@dataclasses.dataclass(slots=True)
+class Cluster:
+    """A running cluster: master + compute instances."""
+
+    template: ClusterTemplate
+    master: Instance
+    nodes: list[Instance]
+    launch_seconds: float
+    platform: PlatformSpec
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def instance_ids(self) -> list[str]:
+        return [self.master.instance_id] + [n.instance_id for n in self.nodes]
+
+
+class StarCluster:
+    """The launcher (``starcluster start`` / ``terminate`` work-alike)."""
+
+    def __init__(self, api: Ec2Api) -> None:
+        self.api = api
+        self.clusters: dict[str, Cluster] = {}
+
+    def start(self, template: ClusterTemplate) -> Cluster:
+        """Launch a cluster, retrying failed boots, configuring NFS."""
+        if template.name in self.clusters:
+            raise CloudError(f"cluster {template.name!r} already running")
+        if template.size < 1:
+            raise CloudError(f"cluster size must be >= 1: {template.size}")
+        group = None
+        if template.placement_group:
+            group = f"{template.name}-pg"
+            self.api.create_placement_group(group)
+
+        t_start = self.api.now
+        wanted = template.size + 1  # master + compute
+        running: list[Instance] = []
+        attempts = 0
+        while len(running) < wanted:
+            if attempts > template.max_boot_retries:
+                self.api.terminate(i.instance_id for i in running)
+                raise CloudError(
+                    f"cluster {template.name!r}: nodes kept failing to boot "
+                    f"after {attempts} rounds"
+                )
+            missing = wanted - len(running)
+            batch = self.api.run_instances(
+                template.instance_type,
+                missing,
+                placement_group=group,
+                spot=template.spot,
+                spot_bid=template.spot_bid,
+            )
+            # Wait out the slowest boot in the batch.
+            pending = [i for i in batch if i.state == "pending"]
+            if pending:
+                self.api.wait(max(i.boot_seconds for i in pending) + 1.0)
+            running.extend(i for i in batch if i.state == "running")
+            dead = [i.instance_id for i in batch if i.state == "failed"]
+            if dead:
+                self.api.terminate(dead)
+            attempts += 1
+
+        # "Configuration": NFS export from the master, stack from image.
+        config_seconds = 40.0 + 5.0 * template.size
+        self.api.wait(config_seconds)
+
+        from repro.cloud.ec2api import platform_for_cluster
+
+        platform = platform_for_cluster(template.size)
+        if template.image is not None:
+            deploy_check(template.image, platform)
+
+        cluster = Cluster(
+            template=template,
+            master=running[0],
+            nodes=running[1:],
+            launch_seconds=self.api.now - t_start,
+            platform=platform,
+        )
+        self.clusters[template.name] = cluster
+        return cluster
+
+    def terminate(self, name: str) -> None:
+        """``starcluster terminate``: tear the whole cluster down."""
+        cluster = self.clusters.pop(name, None)
+        if cluster is None:
+            raise CloudError(f"no running cluster {name!r}")
+        self.api.terminate(cluster.instance_ids())
+
+    def run_workload(
+        self,
+        name: str,
+        workload: _t.Any,
+        nprocs: int,
+        **run_kwargs: _t.Any,
+    ) -> _t.Any:
+        """Run a study workload on a launched cluster's platform model."""
+        cluster = self.clusters.get(name)
+        if cluster is None:
+            raise CloudError(f"no running cluster {name!r}")
+        result = workload.run(cluster.platform, nprocs, **run_kwargs)
+        # Bill the elapsed virtual time against the control-plane clock.
+        elapsed = None
+        for attr in ("projected_time", "total_time", "wall_time"):
+            elapsed = getattr(result, attr, None)
+            if elapsed is not None:
+                break
+        self.api.wait(float(elapsed or 0.0))
+        return result

@@ -1,0 +1,42 @@
+"""The study API — the paper's primary contribution as a library.
+
+The paper's contribution is a *methodology*: build application codes in
+a traditional HPC environment, package the environment into VMs, run the
+same workloads on HPC / private-cloud / public-cloud resources, and
+analyse the results with IPM.  This package is that methodology's
+programmatic surface:
+
+* :class:`~repro.core.study.ScalingStudy` — run one workload across
+  process counts on one platform (a Fig 4/5/6 curve);
+* :class:`~repro.core.study.PlatformComparison` — the same workload
+  across platforms (a Fig 3 bar group / Table II row);
+* :mod:`repro.core.analysis` — speedups, normalisation, the Table III
+  statistics (rcomp/rcomm/%comm/%imbal/I/O).
+
+Typical use::
+
+    from repro.core import ScalingStudy
+    from repro.platforms import VAYU
+
+    study = ScalingStudy.npb("cg", platform=VAYU)
+    curve = study.run([1, 2, 4, 8, 16, 32, 64])
+    print(curve.speedups())
+"""
+
+from repro.core.analysis import (
+    SectionStats,
+    normalized_times,
+    speedup_series,
+    table3_stats,
+)
+from repro.core.study import PlatformComparison, ScalingCurve, ScalingStudy
+
+__all__ = [
+    "PlatformComparison",
+    "ScalingCurve",
+    "ScalingStudy",
+    "SectionStats",
+    "normalized_times",
+    "speedup_series",
+    "table3_stats",
+]

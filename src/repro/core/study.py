@@ -1,0 +1,147 @@
+"""High-level study drivers: scaling curves and platform comparisons."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.core.analysis import normalized_times, speedup_series
+from repro.errors import ConfigError
+from repro.platforms.base import PlatformSpec
+from repro.platforms.registry import all_platforms
+
+
+class _Workload(_t.Protocol):
+    """Anything runnable at a (platform, nprocs) point."""
+
+    def run(self, platform: PlatformSpec, nprocs: int, **kw: _t.Any) -> _t.Any: ...
+
+
+def _time_of(result: _t.Any) -> float:
+    """Extract the elapsed-time figure from any result flavour."""
+    for attr in ("projected_time", "warmed_time", "total_time", "wall_time"):
+        value = getattr(result, attr, None)
+        if value is not None:
+            return float(value)
+    raise ConfigError(f"result {type(result).__name__} exposes no time attribute")
+
+
+@dataclasses.dataclass(slots=True)
+class ScalingCurve:
+    """One workload's times across process counts on one platform."""
+
+    workload: str
+    platform: str
+    times: dict[int, float]
+    results: dict[int, _t.Any]
+
+    def speedups(self, base_procs: int | None = None) -> dict[int, float]:
+        """The Fig 4/5/6 quantity."""
+        return speedup_series(self.times, base_procs)
+
+    def comm_percents(self) -> dict[int, float]:
+        """The Table II quantity, where the workload exposes it."""
+        out = {}
+        for p, r in self.results.items():
+            pct = getattr(r, "comm_percent", None)
+            if pct is None:
+                continue
+            out[p] = pct() if callable(pct) else float(pct)
+        return out
+
+
+class ScalingStudy:
+    """Runs one workload over a list of process counts."""
+
+    def __init__(
+        self,
+        workload: _Workload,
+        name: str,
+        platform: PlatformSpec,
+        run_kwargs: dict[str, _t.Any] | None = None,
+    ) -> None:
+        self.workload = workload
+        self.name = name
+        self.platform = platform
+        self.run_kwargs = run_kwargs or {}
+
+    @classmethod
+    def npb(
+        cls,
+        bench: str,
+        platform: PlatformSpec,
+        klass: str = "B",
+        sim_iters: int | None = None,
+        **run_kwargs: _t.Any,
+    ) -> "ScalingStudy":
+        """A study over one NPB benchmark."""
+        from repro.npb import get_benchmark
+
+        workload = get_benchmark(bench, klass=klass, sim_iters=sim_iters)
+        return cls(workload, f"{bench.upper()}.{klass}", platform, run_kwargs)
+
+    @classmethod
+    def metum(
+        cls, platform: PlatformSpec, sim_steps: int = 3, **run_kwargs: _t.Any
+    ) -> "ScalingStudy":
+        """A study over the MetUM application."""
+        from repro.apps.metum import MetumBenchmark
+
+        return cls(MetumBenchmark(sim_steps=sim_steps), "MetUM", platform, run_kwargs)
+
+    @classmethod
+    def chaste(
+        cls, platform: PlatformSpec, sim_steps: int = 3, **run_kwargs: _t.Any
+    ) -> "ScalingStudy":
+        """A study over the Chaste application."""
+        from repro.apps.chaste import ChasteBenchmark
+
+        return cls(
+            ChasteBenchmark(sim_steps=sim_steps), "Chaste", platform, run_kwargs
+        )
+
+    def run(self, proc_counts: _t.Sequence[int], seed: int = 0) -> ScalingCurve:
+        """Execute the sweep and collect a :class:`ScalingCurve`."""
+        if not proc_counts:
+            raise ConfigError("empty process-count list")
+        times: dict[int, float] = {}
+        results: dict[int, _t.Any] = {}
+        for p in proc_counts:
+            result = self.workload.run(self.platform, p, seed=seed, **self.run_kwargs)
+            results[p] = result
+            times[p] = _time_of(result)
+        return ScalingCurve(
+            workload=self.name,
+            platform=self.platform.name,
+            times=times,
+            results=results,
+        )
+
+
+class PlatformComparison:
+    """Runs one workload at a fixed process count across platforms."""
+
+    def __init__(
+        self,
+        workload: _Workload,
+        name: str,
+        platforms: _t.Sequence[PlatformSpec] | None = None,
+    ) -> None:
+        self.workload = workload
+        self.name = name
+        self.platforms = list(platforms) if platforms is not None else all_platforms()
+
+    def run(
+        self, nprocs: int, seed: int = 0, **run_kwargs: _t.Any
+    ) -> dict[str, _t.Any]:
+        """``{platform name: result}`` for the workload at ``nprocs``."""
+        return {
+            spec.name: self.workload.run(spec, nprocs, seed=seed, **run_kwargs)
+            for spec in self.platforms
+        }
+
+    def normalized(self, nprocs: int, reference: str = "DCC", seed: int = 0) -> dict[str, float]:
+        """Times normalised to ``reference`` (the Fig 3 quantity)."""
+        results = self.run(nprocs, seed=seed)
+        times = {name: _time_of(r) for name, r in results.items()}
+        return normalized_times(times, reference)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with one handler while still being able
+to discriminate simulation problems from configuration problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """A problem detected inside the discrete-event engine.
+
+    Raised, for example, when a simulated process deadlocks (the event
+    queue drains while processes are still waiting) or when a process
+    yields an object the engine does not understand.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while simulated processes were still blocked."""
+
+    def __init__(self, waiting: int, message: str | None = None) -> None:
+        self.waiting = waiting
+        super().__init__(
+            message
+            or f"simulation deadlock: event queue empty with {waiting} "
+            "process(es) still waiting"
+        )
+
+
+class MpiError(ReproError):
+    """Misuse of the simulated MPI API (bad rank, truncated recv, ...)."""
+
+
+class ConfigError(ReproError):
+    """Invalid platform, benchmark or experiment configuration."""
+
+
+class VerificationError(ReproError):
+    """A benchmark's numerical verification failed."""
+
+
+class CloudError(ReproError):
+    """Simulated cloud-provisioning failure (boot error, capacity, ...)."""
+
+
+class SchedulerError(ReproError):
+    """Batch-scheduler misuse or inconsistent job state."""

@@ -1,0 +1,41 @@
+"""Hardware models: CPUs, nodes, interconnect fabrics and filesystems.
+
+Everything in this subpackage is a *performance model*, not a functional
+emulator: a :class:`~repro.hardware.interconnect.FabricSpec` answers "how
+long does an N-byte transfer take", a
+:class:`~repro.hardware.cpu.CpuSpec` answers "how fast does this core
+retire work".  The specs are plain frozen dataclasses so platform
+definitions are declarative and hashable; runtime state (NIC queues,
+resident-rank counts) lives in the thin wrapper classes built per
+simulation run.
+"""
+
+from repro.hardware.cpu import CoreSpec, CpuSpec, SocketSpec
+from repro.hardware.interconnect import (
+    BandwidthCurve,
+    EthernetFabric,
+    FabricSpec,
+    InfinibandFabric,
+    SharedMemoryFabric,
+)
+from repro.hardware.node import Node, NodeSpec
+from repro.hardware.storage import FilesystemSpec, LUSTRE_VAYU, NFS_DCC, NFS_EC2
+from repro.hardware.topology import ClusterTopology
+
+__all__ = [
+    "BandwidthCurve",
+    "ClusterTopology",
+    "CoreSpec",
+    "CpuSpec",
+    "EthernetFabric",
+    "FabricSpec",
+    "FilesystemSpec",
+    "InfinibandFabric",
+    "LUSTRE_VAYU",
+    "NFS_DCC",
+    "NFS_EC2",
+    "Node",
+    "NodeSpec",
+    "SharedMemoryFabric",
+    "SocketSpec",
+]

@@ -1,0 +1,96 @@
+"""Cluster topology: which fabric connects a pair of ranks.
+
+For the cluster sizes in this study (4-8 nodes on the cloud platforms, a
+handful of fat-tree-connected nodes on Vayu) switch-level contention is
+second-order; the topology model therefore resolves a (src node, dst
+node) pair to a fabric and an optional cross-socket discount, and exposes
+simple aggregate queries (node count, ranks per node) that the collective
+algorithms use to split rounds into inter- and intra-node parts.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.hardware.interconnect import FabricSpec
+from repro.hardware.node import Node
+
+
+class ClusterTopology:
+    """Resolves rank pairs to communication paths.
+
+    Parameters
+    ----------
+    nodes:
+        Runtime :class:`~repro.hardware.node.Node` objects.
+    fabric:
+        Inter-node fabric.
+    shm:
+        Intra-node (shared-memory) fabric.
+    cross_socket_bw_factor:
+        Multiplier (<= 1) on shared-memory bandwidth when the two ranks
+        sit on different sockets of the same node.
+    """
+
+    def __init__(
+        self,
+        nodes: _t.Sequence[Node],
+        fabric: FabricSpec,
+        shm: FabricSpec,
+        cross_socket_bw_factor: float = 0.7,
+    ) -> None:
+        if not nodes:
+            raise ConfigError("topology requires at least one node")
+        if not (0.0 < cross_socket_bw_factor <= 1.0):
+            raise ConfigError(
+                f"cross_socket_bw_factor must be in (0,1]: {cross_socket_bw_factor}"
+            )
+        self.nodes = list(nodes)
+        self.fabric = fabric
+        self.shm = shm
+        self.cross_socket_bw_factor = cross_socket_bw_factor
+        #: rank -> node, built by the placement policy.
+        self.rank_node: dict[int, Node] = {}
+
+    # -- placement bookkeeping -------------------------------------------
+    def register(self, rank: int, node: Node) -> None:
+        """Record that ``rank`` lives on ``node``."""
+        if rank in self.rank_node:
+            raise ConfigError(f"rank {rank} already placed")
+        self.rank_node[rank] = node
+
+    def node_of(self, rank: int) -> Node:
+        """The node hosting ``rank``."""
+        try:
+            return self.rank_node[rank]
+        except KeyError:
+            raise ConfigError(f"rank {rank} has not been placed") from None
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True when ranks ``a`` and ``b`` share a node."""
+        return self.node_of(a) is self.node_of(b)
+
+    def fabric_between(self, a: int, b: int) -> FabricSpec:
+        """The fabric a message from ``a`` to ``b`` traverses."""
+        return self.shm if self.same_node(a, b) else self.fabric
+
+    def cross_socket(self, a: int, b: int) -> bool:
+        """True for an intra-node pair on different sockets."""
+        node = self.node_of(a)
+        if node is not self.node_of(b):
+            return False
+        return node.rank_socket[a] != node.rank_socket[b]
+
+    # -- aggregate queries (used by collective cost models) ---------------
+    def occupied_nodes(self, ranks: _t.Iterable[int]) -> int:
+        """Number of distinct nodes hosting ``ranks``."""
+        return len({id(self.rank_node[r]) for r in ranks})
+
+    def max_ranks_per_node(self, ranks: _t.Iterable[int]) -> int:
+        """Largest per-node rank count among ``ranks``."""
+        counts: dict[int, int] = {}
+        for r in ranks:
+            key = id(self.rank_node[r])
+            counts[key] = counts.get(key, 0) + 1
+        return max(counts.values()) if counts else 0

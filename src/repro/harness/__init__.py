@@ -1,0 +1,27 @@
+"""Experiment harness: one entry per paper figure/table.
+
+Each experiment in :mod:`repro.harness.experiments` regenerates one
+artefact of the paper's evaluation — the same rows/series the paper
+reports — and pairs the measured values with the paper's published
+numbers from :mod:`repro.harness.paper` so benches and EXPERIMENTS.md
+can show paper-vs-measured side by side.
+
+Usage::
+
+    from repro.harness import run_experiment, EXPERIMENTS
+    out = run_experiment("fig4", quick=True)
+    print(out.render())
+"""
+
+from repro.harness.experiments import EXPERIMENTS, ExperimentOutput, run_experiment
+from repro.harness.figures import render_series_table, render_speedup_plot
+from repro.harness import paper
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentOutput",
+    "paper",
+    "render_series_table",
+    "render_speedup_plot",
+    "run_experiment",
+]

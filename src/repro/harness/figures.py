@@ -1,0 +1,74 @@
+"""Text rendering of series and speedup plots for the bench harness."""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+
+def render_series_table(
+    title: str,
+    columns: _t.Sequence[str],
+    rows: _t.Mapping[_t.Any, _t.Sequence[float]],
+    value_format: str = "{:.2f}",
+    row_label: str = "x",
+) -> str:
+    """An aligned table: one row per x value, one column per series."""
+    lines = [title]
+    header = [row_label] + list(columns)
+    cells = [
+        [str(x)] + [value_format.format(v) for v in values]
+        for x, values in rows.items()
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in cells)) if cells else len(header[i])
+        for i in range(len(header))
+    ]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for r in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_speedup_plot(
+    title: str,
+    series: _t.Mapping[str, _t.Mapping[int, float]],
+    width: int = 48,
+    height: int = 14,
+) -> str:
+    """A log-log ASCII rendition of a Fig-4-style speedup plot."""
+    points: list[tuple[float, float, str]] = []
+    markers = {}
+    for idx, (name, curve) in enumerate(series.items()):
+        marker = chr(ord("A") + idx % 26)
+        markers[marker] = name
+        for x, y in curve.items():
+            if x > 0 and y > 0:
+                points.append((math.log2(x), math.log2(y), marker))
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, m in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = m
+    lines = [title]
+    lines.append(f"log2(speedup) {2**y_hi:.0f}x at top, {2**y_lo:.1f}x at bottom")
+    lines.extend("|" + "".join(r) for r in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"log2(cores): {2**x_lo:.0f} .. {2**x_hi:.0f}")
+    lines.append("legend: " + ", ".join(f"{m}={n}" for m, n in markers.items()))
+    return "\n".join(lines)
+
+
+def percent_delta(measured: float, reference: float) -> str:
+    """Signed percentage deviation, rendered for comparison columns."""
+    if reference == 0:
+        return "n/a"
+    return f"{100.0 * (measured - reference) / reference:+.0f}%"

@@ -1,0 +1,114 @@
+"""The paper's published numbers, transcribed for comparison.
+
+Sources: Strazdins, Cai, Atif & Antony, "Scientific Application
+Performance on HPC, Private and Public Cloud Resources: A Case Study
+Using Climate, Cardiac Model Codes and the NPB Benchmark Suite".
+Figure-read values are approximate (the figures are log-scale plots);
+table values are exact transcriptions.
+"""
+
+from __future__ import annotations
+
+#: Fig 3 inset: absolute wall times (s) of single-process NPB class B on DCC.
+FIG3_DCC_SERIAL_SECONDS: dict[str, float] = {
+    "bt": 1696.9,
+    "ep": 141.5,
+    "cg": 244.9,
+    "ft": 327.6,
+    "is": 8.6,
+    "lu": 1514.7,
+    "mg": 72.0,
+    "sp": 1936.1,
+}
+
+#: Fig 3: times normalised w.r.t. DCC — approximate bar heights.  The
+#: paper's figure shows Vayu and EC2 around 0.7-0.8 for all benchmarks.
+FIG3_NORMALIZED_RANGE = (0.65, 0.85)
+
+#: Table II: IPM-reported percentage communication, np -> (DCC, EC2, Vayu).
+TABLE2_COMM_PERCENT: dict[str, dict[int, tuple[float, float, float]]] = {
+    "cg": {
+        2: (1.5, 1.2, 0.9), 4: (5.3, 3.0, 1.9), 8: (68.3, 5.1, 3.8),
+        16: (85.7, 9.4, 8.5), 32: (78.0, 38.8, 12.5), 64: (90.3, 58.0, 21.7),
+    },
+    "ft": {
+        2: (2.5, 2.1, 1.9), 4: (3.6, 3.4, 2.9), 8: (8.3, 5.4, 4.2),
+        16: (59.3, 7.2, 7.7), 32: (75.7, 38.2, 12.5), 64: (84.4, 55.3, 20.8),
+    },
+    "is": {
+        2: (6.3, 4.6, 4.4), 4: (8.6, 7.4, 8.2), 8: (14.2, 13.5, 12.9),
+        16: (82.4, 19.2, 22.1), 32: (88.3, 58.9, 44.4), 64: (98.1, 84.9, 68.2),
+    },
+}
+
+#: Fig 5 legend: Chaste 8-core execution times (s).  NOTE: the legend as
+#: printed pairs Vayu with the larger totals, contradicting the paper's
+#: own analysis (DCC computation is 1.5x Vayu's, scaling "much poorer");
+#: we transcribe the printed values and adopt the swapped assignment for
+#: calibration (see EXPERIMENTS.md).
+FIG5_T8_AS_PRINTED = {
+    "vayu_total": 1599.0,
+    "dcc_total": 1017.0,
+    "vayu_ksp": 938.0,
+    "dcc_ksp": 579.0,
+}
+FIG5_T8_ADOPTED = {
+    "vayu_total": 1017.0,
+    "dcc_total": 1599.0,
+    "vayu_ksp": 579.0,
+    "dcc_ksp": 938.0,
+}
+
+#: Chaste 32-core IPM analysis (section V-C.1).
+CHASTE_32: dict[str, float] = {
+    "dcc_comm_percent": 48.0,
+    "vayu_comm_percent": 11.0,
+    "dcc_over_vayu_compute": 1.5,
+    "ksp_comm_ratio_dcc_over_vayu": 13.0,
+}
+
+#: Fig 6 legend: UM 8-core "warmed" execution times (s).
+FIG6_T8 = {
+    "Vayu": 963.0,
+    "DCC": 1486.0,
+    "EC2": 812.0,
+    "EC2-4": 646.0,
+}
+
+#: Table III: UM statistics at 32 cores.
+TABLE3_UM_32: dict[str, dict[str, float]] = {
+    "Vayu": {"time": 303.0, "rcomp": 1.0, "rcomm": 1.0, "comm": 13.0,
+             "imbal": 13.0, "io": 4.5},
+    "DCC": {"time": 624.0, "rcomp": 1.37, "rcomm": 6.71, "comm": 42.0,
+            "imbal": 4.0, "io": 37.8},
+    "EC2": {"time": 770.0, "rcomp": 2.39, "rcomm": 3.53, "comm": 18.0,
+            "imbal": 18.0, "io": 9.1},
+    "EC2-4": {"time": 380.0, "rcomp": 1.17, "rcomm": 1.0, "comm": 18.0,
+              "imbal": 19.0, "io": 7.6},
+}
+
+#: Fig 1: OSU bandwidth landmarks (bytes/s).
+FIG1_LANDMARKS = {
+    "ec2_peak_bw": 560e6,        # "peak bandwidth of ~560MB/s for 256KB"
+    "dcc_peak_bw": 190e6,        # "peak bandwidth of ~190MB/s"
+    "vayu_margin_over_ec2": 10.0,  # "more than one order of magnitude"
+}
+
+#: ARRIVE-F (section II): "improve the average job waiting times by up
+#: to 33%".
+ARRIVEF_MAX_WAIT_IMPROVEMENT_PCT = 33.0
+
+#: Qualitative claims checked by tests/benches, with paper section refs.
+QUALITATIVE_CLAIMS = (
+    ("fig2", "DCC latency fluctuates between 1B and 512KB (V-A)"),
+    ("fig4", "EP near-linear on Vayu and DCC; EC2 fluctuates upward (V-B)"),
+    ("fig4", "DCC kernels drop when first spanning GigE nodes; recover as "
+             "All-to-all messages shrink (V-B)"),
+    ("fig4", "EC2 drops at 16 cores, not 32: HyperThreading (V-B)"),
+    ("fig4", "CG drops at 8 on DCC: masked NUMA (V-B)"),
+    ("fig4", "IS scales poorly everywhere (V-B)"),
+    ("fig5", "Chaste KSp scaling determines total; DCC much poorer (V-C.1)"),
+    ("fig6", "UM: EC2-4 runs always significantly faster below 64 (V-C.2)"),
+    ("fig7", "DCC comm time mostly system time; more irregular imbalance "
+             "(V-C.2)"),
+)

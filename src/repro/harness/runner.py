@@ -1,0 +1,84 @@
+"""Batch experiment runner with result export.
+
+Drives the experiment registry for reports and for regenerating
+EXPERIMENTS.md: runs a set of experiments, collects renderings and
+comparison triples, and exports machine-readable results (JSON/CSV) next
+to the human-readable text.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import pathlib
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.harness.experiments import EXPERIMENTS, ExperimentOutput, run_experiment
+
+
+@dataclasses.dataclass(slots=True)
+class BatchResult:
+    """All outputs of one harness batch."""
+
+    outputs: dict[str, ExperimentOutput]
+
+    def render(self) -> str:
+        return "\n\n".join(o.render() for o in self.outputs.values())
+
+    def comparison_rows(self) -> list[dict[str, _t.Any]]:
+        """Flat (experiment, metric, measured, paper, delta%) rows."""
+        rows = []
+        for eid, out in self.outputs.items():
+            for metric, measured, ref in out.comparisons:
+                delta = 100.0 * (measured - ref) / ref if ref else float("nan")
+                rows.append({
+                    "experiment": eid,
+                    "metric": metric,
+                    "measured": measured,
+                    "paper": ref,
+                    "delta_pct": delta,
+                })
+        return rows
+
+    # -- export ----------------------------------------------------------
+    def write_json(self, path: str | pathlib.Path) -> None:
+        """Comparison rows as JSON."""
+        pathlib.Path(path).write_text(
+            json.dumps(self.comparison_rows(), indent=2) + "\n"
+        )
+
+    def write_csv(self, path: str | pathlib.Path) -> None:
+        """Comparison rows as CSV."""
+        rows = self.comparison_rows()
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(
+                fh, fieldnames=["experiment", "metric", "measured", "paper", "delta_pct"]
+            )
+            writer.writeheader()
+            writer.writerows(rows)
+
+    def write_text(self, path: str | pathlib.Path) -> None:
+        """The full human-readable report."""
+        pathlib.Path(path).write_text(self.render() + "\n")
+
+
+def run_batch(
+    experiment_ids: _t.Sequence[str] | None = None,
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    progress: _t.Callable[[str], None] | None = None,
+) -> BatchResult:
+    """Run ``experiment_ids`` (default: every registered experiment)."""
+    ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise ConfigError(f"unknown experiments: {unknown}")
+    outputs: dict[str, ExperimentOutput] = {}
+    for eid in ids:
+        if progress is not None:
+            progress(eid)
+        outputs[eid] = run_experiment(eid, quick=quick, seed=seed)
+    return BatchResult(outputs)

@@ -1,0 +1,83 @@
+"""Machine-readable export of IPM profiles.
+
+Real IPM emits an XML log per run that downstream tooling (plots,
+ipm_parse) consumes; the work-alike exports the equivalent structure as
+JSON-ready dictionaries — per rank, per region, per (call, size) bucket —
+so study results can be archived or post-processed outside this library.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as _t
+
+from repro.ipm.monitor import GLOBAL_REGION, IpmMonitor, RankProfile, RegionStats
+
+
+def region_to_dict(stats: RegionStats) -> dict[str, _t.Any]:
+    """One region's accounting as plain data."""
+    return {
+        "name": stats.name,
+        "wall_time": stats.wall_time,
+        "compute_time": stats.compute_time,
+        "io_time": stats.io_time,
+        "mpi_time": stats.mpi_time,
+        "mpi_calls": stats.mpi_calls,
+        "calls": [
+            {
+                "call": key.call,
+                "bytes": key.nbytes,
+                "count": cs.count,
+                "time": cs.time,
+            }
+            for key, cs in sorted(
+                stats.mpi.items(), key=lambda kv: (kv[0].call, kv[0].nbytes)
+            )
+        ],
+    }
+
+
+def profile_to_dict(profile: RankProfile) -> dict[str, _t.Any]:
+    """One rank's full profile as plain data."""
+    return {
+        "rank": profile.rank,
+        "finish_time": profile.finish_time,
+        "regions": {
+            name: region_to_dict(stats)
+            for name, stats in sorted(profile.regions.items())
+        },
+    }
+
+
+def monitor_to_dict(monitor: IpmMonitor) -> dict[str, _t.Any]:
+    """A whole run's monitoring data as plain data (JSON-serialisable)."""
+    return {
+        "nprocs": monitor.nprocs,
+        "wall_time": monitor.wall_time(),
+        "system_time_share": monitor.system_time_share,
+        "regions": monitor.region_names(),
+        "ranks": [profile_to_dict(p) for p in monitor.profiles],
+    }
+
+
+def write_json(monitor: IpmMonitor, path: str | pathlib.Path) -> None:
+    """Dump the monitor to a JSON file (the XML-log analogue)."""
+    pathlib.Path(path).write_text(json.dumps(monitor_to_dict(monitor), indent=1) + "\n")
+
+
+def load_json(path: str | pathlib.Path) -> dict[str, _t.Any]:
+    """Read back a dumped profile (as plain data, not a live monitor)."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def totals_by_call(monitor: IpmMonitor, region: str = GLOBAL_REGION) -> dict[str, float]:
+    """Aggregate MPI seconds per call name across ranks (quick summary)."""
+    out: dict[str, float] = {}
+    for profile in monitor.profiles:
+        stats = profile.regions.get(region)
+        if stats is None:
+            continue
+        for key, cs in stats.mpi.items():
+            out[key.call] = out.get(key.call, 0.0) + cs.time
+    return out

@@ -1,0 +1,114 @@
+"""Per-rank event timelines (Gantt-style traces).
+
+IPM aggregates answer "how much"; a timeline answers "when".  Attach a
+:class:`Timeline` to an :class:`~repro.smpi.world.MpiWorld` before
+launching and every compute burst, MPI call and I/O operation is recorded
+as a ``(start, end, kind, label)`` interval per rank — enough to render
+ASCII Gantt charts of short runs or export JSON for external viewers.
+
+Off by default: interval recording costs memory proportional to event
+count, which the large sweeps cannot afford.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import typing as _t
+
+from repro.errors import ConfigError
+
+#: Interval kinds, in render precedence order.
+KINDS = ("compute", "mpi", "io")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Interval:
+    """One traced activity on one rank."""
+
+    start: float
+    end: float
+    kind: str
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Collects per-rank activity intervals for one run."""
+
+    def __init__(self, nprocs: int) -> None:
+        if nprocs < 1:
+            raise ConfigError(f"nprocs must be >= 1: {nprocs}")
+        self.ranks: list[list[Interval]] = [[] for _ in range(nprocs)]
+
+    def record(self, rank: int, start: float, end: float, kind: str, label: str) -> None:
+        """Append one interval (engine-ordered, so lists stay sorted)."""
+        if kind not in KINDS:
+            raise ConfigError(f"unknown interval kind {kind!r}; expected {KINDS}")
+        if end < start:
+            raise ConfigError(f"interval ends before it starts: {start}..{end}")
+        self.ranks[rank].append(Interval(start, end, kind, label))
+
+    # -- queries -----------------------------------------------------------
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) across all ranks."""
+        starts = [iv.start for rank in self.ranks for iv in rank]
+        ends = [iv.end for rank in self.ranks for iv in rank]
+        if not starts:
+            return (0.0, 0.0)
+        return (min(starts), max(ends))
+
+    def busy_fraction(self, rank: int, kind: str | None = None) -> float:
+        """Fraction of the run's span rank spent in ``kind`` (or any)."""
+        lo, hi = self.span()
+        if hi <= lo:
+            return 0.0
+        total = sum(
+            iv.duration
+            for iv in self.ranks[rank]
+            if kind is None or iv.kind == kind
+        )
+        return total / (hi - lo)
+
+    # -- export ------------------------------------------------------------
+    def to_dict(self) -> dict[str, _t.Any]:
+        """JSON-ready structure (Chrome-trace-like, simplified)."""
+        return {
+            "nprocs": len(self.ranks),
+            "span": self.span(),
+            "ranks": [
+                [
+                    {"start": iv.start, "end": iv.end, "kind": iv.kind,
+                     "label": iv.label}
+                    for iv in rank
+                ]
+                for rank in self.ranks
+            ],
+        }
+
+    def write_json(self, path: str | pathlib.Path) -> None:
+        pathlib.Path(path).write_text(json.dumps(self.to_dict()) + "\n")
+
+    def render_ascii(self, width: int = 72, max_ranks: int = 32) -> str:
+        """A Gantt chart: one row per rank, ``#``=compute, ``m``=MPI,
+        ``i``=I/O, ``.``=idle."""
+        lo, hi = self.span()
+        if hi <= lo:
+            return "(empty timeline)"
+        glyph = {"compute": "#", "mpi": "m", "io": "i"}
+        lines = [f"timeline {lo:.6g}s .. {hi:.6g}s  (#=compute m=mpi i=io .=idle)"]
+        for rank, intervals in enumerate(self.ranks[:max_ranks]):
+            row = ["."] * width
+            for iv in intervals:
+                a = int((iv.start - lo) / (hi - lo) * (width - 1))
+                b = int((iv.end - lo) / (hi - lo) * (width - 1))
+                for col in range(a, b + 1):
+                    row[col] = glyph[iv.kind]
+            lines.append(f"{rank:4d} |{''.join(row)}|")
+        if len(self.ranks) > max_ranks:
+            lines.append(f"  ... ({len(self.ranks) - max_ranks} more ranks)")
+        return "\n".join(lines)

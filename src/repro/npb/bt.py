@@ -1,0 +1,109 @@
+"""BT — Block-Tridiagonal ADI solver (multipartition decomposition).
+
+BT requires a perfect-square process count (the paper runs 36 where the
+other kernels run 32).  Each iteration computes the right-hand side
+(with a six-face ghost exchange, ``copy_faces``) and then sweeps three
+alternating-direction line solves; under the multipartition scheme each
+solve stage ships a block boundary of ``5 x 5 x (n/sq)^2`` doubles to
+the next cell owner, ``sq`` stages per direction.
+
+The solves are priced as composites (see :mod:`repro.npb.lu` for the
+rationale); ``copy_faces`` uses the mixed on/off-node neighbour model.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.npb.base import NpbBenchmark, mixed_msg_time
+
+#: Fraction of per-iteration work in the RHS computation (rest: solves).
+RHS_WORK_FRACTION = 0.35
+
+
+class BtBenchmark(NpbBenchmark):
+    """NPB BT skeleton."""
+
+    name = "bt"
+    default_sim_iters = 3
+    solve_boundary_vars = 25  # 5x5 block per boundary point
+
+    def valid_nprocs(self, nprocs: int) -> bool:
+        if nprocs < 1:
+            return False
+        sq = math.isqrt(nprocs)
+        return sq * sq == nprocs
+
+    def _geometry(self, comm) -> tuple[int, int, int, float]:
+        n = self.cfg.dims[0]
+        sq = math.isqrt(comm.size)
+        row, col = divmod(comm.rank, sq)
+        ncell_x = self.split_extent(n, sq, col)
+        ncell_y = self.split_extent(n, sq, row)
+        share = (ncell_x * ncell_y) / (n * n)
+        return sq, ncell_x, ncell_y, share
+
+    def iteration(self, comm, it: int) -> _t.Generator:
+        cfg = self.cfg
+        n = cfg.dims[0]
+        p = comm.size
+        sq, ncx, ncy, share = self._geometry(comm)
+
+        # --- compute_rhs + copy_faces -------------------------------------------
+        yield from comm.compute(
+            flops=cfg.flops_per_iter * share * RHS_WORK_FRACTION,
+            mem_bytes=cfg.mem_bytes_per_iter * share * RHS_WORK_FRACTION,
+            working_set=self.local_ws(comm),
+        )
+        if p > 1:
+            # Ghost faces: 5 variables, 2 ghost planes, per direction.
+            face_x = 5 * 8 * 2 * ncy * n
+            face_y = 5 * 8 * 2 * ncx * n
+            face_z = 5 * 8 * 2 * ncx * ncy  # z faces stay local per cell
+
+            def faces_time(ctx, _n: float) -> float:
+                return (
+                    2.0 * mixed_msg_time(ctx, face_x, 1)
+                    + 2.0 * mixed_msg_time(ctx, face_y, sq)
+                    + 2.0 * mixed_msg_time(ctx, face_z, 1)
+                )
+
+            yield from comm.composite(
+                "MPI_Isend(copy_faces)", 2 * (face_x + face_y + face_z), faces_time
+            )
+
+        # --- three ADI line solves ------------------------------------------------
+        solve_frac = (1.0 - RHS_WORK_FRACTION) / 3.0
+        boundary = self.solve_boundary_vars * 8 * (n // max(1, sq)) ** 2
+        for axis, stride in (("x", 1), ("y", sq), ("z", 1)):
+            yield from comm.compute(
+                flops=cfg.flops_per_iter * share * solve_frac,
+                mem_bytes=cfg.mem_bytes_per_iter * share * solve_frac,
+                working_set=self.local_ws(comm),
+            )
+            if p > 1:
+
+                def solve_time(ctx, _n: float, _stride=stride) -> float:
+                    # sq pipeline stages, one boundary block each.
+                    return sq * mixed_msg_time(ctx, boundary, _stride)
+
+                yield from comm.composite(
+                    f"MPI_Send({axis}_solve)", sq * boundary, solve_time
+                )
+        return None
+
+
+class SpBenchmark(BtBenchmark):
+    """SP — Scalar-Pentadiagonal ADI solver.
+
+    Structurally identical decomposition and communication pattern to BT
+    (square process grid, copy_faces, three line sweeps), but scalar
+    penta-diagonal systems: more, cheaper iterations (400 vs 200) and
+    thinner solve boundaries (5 variables rather than 5x5 blocks), which
+    makes SP more latency-sensitive per unit of work.
+    """
+
+    name = "sp"
+    solve_boundary_vars = 5

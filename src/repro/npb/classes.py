@@ -1,0 +1,176 @@
+"""NPB problem-class parameter tables.
+
+Grid sizes and iteration counts are the official NPB 3.3 definitions.
+The *work model* (total useful operations and memory traffic) is
+calibrated rather than counted: the paper's Fig 3 gives absolute serial
+class-B wall times on DCC, so each benchmark's class-B work is chosen to
+reproduce exactly those times under the DCC node model, and other
+classes scale by the official operation-count ratios.  The calibration
+is twofold per benchmark:
+
+* ``dcc_serial_seconds`` — the Fig 3 reference time;
+* ``mem_fraction`` (mu) — what fraction of the serial time is
+  memory-bandwidth-bound on DCC.  ``mu`` encodes each kernel's character
+  (EP ~ 0: embarrassingly compute-bound; CG ~ 0.85: SpMV-dominated), and
+  drives both the cross-platform serial ratios (Fig 3) and the
+  within-node scaling loss as ranks share socket bandwidth (Fig 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+
+CLASS_NAMES = ("S", "W", "A", "B", "C", "D")
+
+#: DCC serial reference flop rate (flops/s): E5520 core model.
+_DCC_FLOP_RATE = 2.27e9
+#: DCC serial reference memory bandwidth (bytes/s): one rank, full socket.
+_DCC_MEM_BW = 11.5e9
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NpbClass:
+    """One (benchmark, class) working configuration."""
+
+    bench: str
+    klass: str
+    #: Grid / problem dimensions (meaning depends on the benchmark).
+    dims: tuple[int, ...]
+    #: Outer iteration count of the timed section.
+    iterations: int
+    #: Total useful flops over the whole timed run.
+    total_flops: float
+    #: Total DRAM traffic (bytes) over the whole timed run.
+    total_mem_bytes: float
+    #: Resident memory footprint of the whole problem (bytes); a rank's
+    #: working set is its share of this, which drives cache residency.
+    footprint_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_flops <= 0 or self.iterations < 1:
+            raise ConfigError(f"invalid NpbClass: {self}")
+
+    @property
+    def flops_per_iter(self) -> float:
+        return self.total_flops / self.iterations
+
+    @property
+    def mem_bytes_per_iter(self) -> float:
+        return self.total_mem_bytes / self.iterations
+
+
+def _work(dcc_seconds: float, mem_fraction: float) -> tuple[float, float]:
+    """Convert a DCC serial time + memory fraction into (flops, bytes).
+
+    The serial run is flop-bound by construction (``mem_fraction < 1``),
+    so ``flops = t * rate`` reproduces the Fig 3 time exactly, while
+    ``bytes = mu * t * bw`` makes memory the binding resource once
+    several ranks share a socket (at 4 ranks/socket the per-rank
+    bandwidth share is a quarter, so memory binds whenever mu > 0.25).
+    """
+    if not (0.0 <= mem_fraction < 1.0):
+        raise ConfigError(f"mem_fraction must be in [0,1): {mem_fraction}")
+    return dcc_seconds * _DCC_FLOP_RATE, mem_fraction * dcc_seconds * _DCC_MEM_BW
+
+
+# ---------------------------------------------------------------------------
+# Class B: calibrated against the paper's Fig 3 serial DCC wall times.
+# Other classes: official NPB size ratios applied to the class-B work.
+# ---------------------------------------------------------------------------
+
+#: (dcc_serial_seconds from Fig 3, mem_fraction) per benchmark, class B.
+_FIG3_CALIBRATION: dict[str, tuple[float, float]] = {
+    "bt": (1696.9, 0.45),
+    "ep": (141.5, 0.02),
+    "cg": (244.9, 0.85),
+    "ft": (327.6, 0.45),
+    "is": (8.6, 0.70),
+    "lu": (1514.7, 0.50),
+    "mg": (72.0, 0.60),
+    "sp": (1936.1, 0.50),
+}
+
+#: Official problem dimensions and iteration counts per class.
+_DIMS: dict[str, dict[str, tuple[tuple[int, ...], int]]] = {
+    # BT/SP: cubic grid edge, iterations.
+    "bt": {"S": ((12,), 60), "W": ((24,), 200), "A": ((64,), 200),
+           "B": ((102,), 200), "C": ((162,), 200), "D": ((408,), 250)},
+    "sp": {"S": ((12,), 100), "W": ((36,), 400), "A": ((64,), 400),
+           "B": ((102,), 400), "C": ((162,), 400), "D": ((408,), 500)},
+    # LU: cubic grid edge, iterations.
+    "lu": {"S": ((12,), 50), "W": ((33,), 300), "A": ((64,), 250),
+           "B": ((102,), 250), "C": ((162,), 250), "D": ((408,), 300)},
+    # CG: (na, nonzer, shift), iterations.
+    "cg": {"S": ((1400, 7, 10), 15), "W": ((7000, 8, 12), 15),
+           "A": ((14000, 11, 20), 15), "B": ((75000, 13, 60), 75),
+           "C": ((150000, 15, 110), 75), "D": ((1500000, 21, 500), 100)},
+    # EP: (log2 of pair count,), 1 "iteration".
+    "ep": {"S": ((24,), 1), "W": ((25,), 1), "A": ((28,), 1),
+           "B": ((30,), 1), "C": ((32,), 1), "D": ((36,), 1)},
+    # FT: (nx, ny, nz), iterations.
+    "ft": {"S": ((64, 64, 64), 6), "W": ((128, 128, 32), 6),
+           "A": ((256, 256, 128), 6), "B": ((512, 256, 256), 20),
+           "C": ((512, 512, 512), 20), "D": ((2048, 1024, 1024), 25)},
+    # IS: (log2 keys, log2 max key), iterations.
+    "is": {"S": ((16, 11), 10), "W": ((20, 16), 10), "A": ((23, 19), 10),
+           "B": ((25, 21), 10), "C": ((27, 23), 10), "D": ((31, 27), 10)},
+    # MG: cubic grid edge, iterations.
+    "mg": {"S": ((32,), 4), "W": ((128,), 4), "A": ((256,), 4),
+           "B": ((256,), 20), "C": ((512,), 20), "D": ((1024,), 50)},
+}
+
+#: Approximate class-B resident memory footprints (bytes) — the scale of
+#: the official NPB memory requirements; a rank's working set is its
+#: share.  EP is register/cache resident by construction.
+_FOOTPRINT_B: dict[str, float] = {
+    "bt": 0.7e9,
+    "sp": 0.7e9,
+    "lu": 0.6e9,
+    "cg": 0.4e9,
+    "ep": 1e6,
+    "ft": 1.7e9,
+    "is": 0.3e9,
+    "mg": 0.45e9,
+}
+
+#: Work of each class relative to class B (official Mop-count ratios,
+#: rounded; class D ratios are approximate grid-scaling estimates; used
+#: only for non-B classes).
+_CLASS_WORK_RATIO: dict[str, dict[str, float]] = {
+    "bt": {"S": 2.4e-4, "W": 4.3e-3, "A": 0.241, "B": 1.0, "C": 4.05, "D": 83.0},
+    "sp": {"S": 2.9e-4, "W": 0.011, "A": 0.240, "B": 1.0, "C": 4.07, "D": 84.0},
+    "lu": {"S": 1.7e-4, "W": 0.015, "A": 0.196, "B": 1.0, "C": 4.07, "D": 81.0},
+    "cg": {"S": 2.4e-4, "W": 0.011, "A": 0.027, "B": 1.0, "C": 2.62, "D": 66.0},
+    "ep": {"S": 0.0156, "W": 0.0312, "A": 0.25, "B": 1.0, "C": 4.0, "D": 64.0},
+    "ft": {"S": 1.9e-3, "W": 4.2e-3, "A": 0.078, "B": 1.0, "C": 4.3, "D": 85.0},
+    "is": {"S": 1.6e-3, "W": 0.026, "A": 0.21, "B": 1.0, "C": 4.2, "D": 67.0},
+    "mg": {"S": 2.7e-4, "W": 0.012, "A": 0.20, "B": 1.0, "C": 9.2, "D": 165.0},
+}
+
+
+def problem(bench: str, klass: str = "B") -> NpbClass:
+    """Build the :class:`NpbClass` for ``bench`` at problem ``klass``."""
+    bench = bench.lower()
+    if bench not in _FIG3_CALIBRATION:
+        raise ConfigError(
+            f"unknown NPB benchmark {bench!r}; expected one of "
+            f"{sorted(_FIG3_CALIBRATION)}"
+        )
+    klass = klass.upper()
+    if klass not in CLASS_NAMES:
+        raise ConfigError(f"unknown NPB class {klass!r}; expected {CLASS_NAMES}")
+    dcc_seconds, mu = _FIG3_CALIBRATION[bench]
+    flops_b, bytes_b = _work(dcc_seconds, mu)
+    ratio = _CLASS_WORK_RATIO[bench][klass]
+    dims, iters = _DIMS[bench][klass]
+    return NpbClass(
+        bench=bench,
+        klass=klass,
+        dims=dims,
+        iterations=iters,
+        total_flops=flops_b * ratio,
+        total_mem_bytes=bytes_b * ratio,
+        footprint_bytes=_FOOTPRINT_B[bench] * ratio,
+    )

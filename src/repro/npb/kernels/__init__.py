@@ -1,0 +1,38 @@
+"""Real numeric kernels for the NPB computational patterns.
+
+These are working NumPy implementations of the mathematics behind five
+of the benchmarks, runnable at small problem classes.  They serve three
+purposes:
+
+1. **Skeleton validation** — the distributed drivers
+   (:mod:`repro.npb.kernels.distributed`) run the same arithmetic
+   *through the simulated MPI* (payload-carrying collectives) and must
+   reproduce the serial kernels' answers exactly, proving the
+   communication skeletons move the right data in the right pattern.
+2. **Invariant checks** — each kernel verifies analytic properties
+   (CG eigenvalue bounds, FFT energy conservation, sort permutation,
+   multigrid residual contraction, EP's Marsaglia acceptance rate).
+3. **Honest numerics** — the reproduction exercises real linear algebra
+   and transforms, not only cost models.
+
+The random-number generator is the official NPB linear congruential
+generator (``a = 5**13``, modulo ``2**46``), so streams match the
+reference implementation.
+"""
+
+from repro.npb.kernels.randnpb import NpbRandom
+from repro.npb.kernels.ep_kernel import ep_kernel
+from repro.npb.kernels.cg_kernel import cg_kernel, make_spd_matrix
+from repro.npb.kernels.ft_kernel import ft_kernel
+from repro.npb.kernels.is_kernel import is_kernel
+from repro.npb.kernels.mg_kernel import mg_kernel
+
+__all__ = [
+    "NpbRandom",
+    "cg_kernel",
+    "ep_kernel",
+    "ft_kernel",
+    "is_kernel",
+    "make_spd_matrix",
+    "mg_kernel",
+]

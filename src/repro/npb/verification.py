@@ -1,0 +1,48 @@
+"""Verification support shared by the numeric kernels.
+
+The :mod:`repro.npb.kernels` implementations verify against two kinds of
+reference:
+
+* *analytic* invariants (energy conservation for FT, sortedness and
+  permutation for IS, residual contraction for MG, eigenvalue bounds
+  for CG) — these hold for any correct implementation;
+* *regression* values frozen from this implementation's own output,
+  recorded here with the seed they were generated under.  (The official
+  NPB epsilon tables apply to the exact Fortran RNG streams; offline we
+  freeze our own and document them as self-generated.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import VerificationError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VerificationRecord:
+    """Outcome of one kernel verification."""
+
+    bench: str
+    klass: str
+    quantity: str
+    computed: float
+    reference: float
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        ref = self.reference
+        if ref == 0.0:
+            return abs(self.computed) <= self.tolerance
+        return abs(self.computed - ref) / abs(ref) <= self.tolerance
+
+    def check(self) -> "VerificationRecord":
+        """Raise :class:`VerificationError` unless :attr:`passed`."""
+        if not self.passed:
+            raise VerificationError(
+                f"{self.bench}.{self.klass} {self.quantity}: computed "
+                f"{self.computed!r}, expected {self.reference!r} "
+                f"(tol {self.tolerance:g})"
+            )
+        return self

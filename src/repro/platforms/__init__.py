@@ -1,0 +1,32 @@
+"""Concrete experimental platforms (paper Table I).
+
+Three calibrated platform models:
+
+* :data:`~repro.platforms.vayu.VAYU` — the NCI-NF Sun/Oracle
+  supercomputer: bare metal, QDR InfiniBand, Lustre;
+* :data:`~repro.platforms.dcc.DCC` — the private VMware cluster: ESX
+  hypervisor, E1000 vNIC over GigE, NFS;
+* :data:`~repro.platforms.ec2.EC2` — Amazon cc1.4xlarge StarCluster:
+  Xen, placement-group 10 GigE, NFS, HyperThreading exposed.
+
+Use :func:`get_platform` to look one up by name, or build a
+:class:`Platform` runtime directly from a spec.
+"""
+
+from repro.platforms.base import Platform, PlatformSpec, RankComputeModel
+from repro.platforms.registry import all_platforms, get_platform, platform_table
+from repro.platforms.vayu import VAYU
+from repro.platforms.dcc import DCC
+from repro.platforms.ec2 import EC2
+
+__all__ = [
+    "DCC",
+    "EC2",
+    "Platform",
+    "PlatformSpec",
+    "RankComputeModel",
+    "VAYU",
+    "all_platforms",
+    "get_platform",
+    "platform_table",
+]

@@ -1,0 +1,85 @@
+"""EC2 — Amazon cc1.4xlarge StarCluster (paper Table I, col 2).
+
+Four cluster-compute instances in a placement group in the US-East
+(Virginia) data centre: two quad-core Xeon X5570 per instance with
+HyperThreading *enabled and exposed*, so the guest sees 16 cores; 20 GB
+RAM; full-bisection 10 GigE inside the placement group; Xen hypervisor;
+NFS shared from the StarCluster master.
+
+Calibration notes
+-----------------
+* Same X5570 silicon as Vayu (``flops_per_cycle = 1.10``), which is why
+  the paper finds "computation speed was similar to Vayu provided that
+  the nodes were not fully subscribed" (Table III, EC2-4 column).
+* HT exposed: ``smt_enabled=True`` with ``smt_yield = 1.25`` — two
+  hyperthreads retire ~25% more than one, so 16 ranks/node run each rank
+  at ~0.62x a full core.  This produces the paper's signature EC2
+  behaviours: NPB kernels "drop in performance at 16 cores rather than
+  the expected 32" and UM's 4-node runs are "almost twice as fast" than
+  2-node runs at 32 cores.
+* 10 GigE through Xen: ~590 MB/s effective peak with a mild decline past
+  ~1 MB (Fig 1 shows ~560 MB/s at 256 KB and a droop after), ~45 us
+  one-way small-message cost, stable (Fig 2's smooth EC2 curve).
+* 20 GB per node is the paper's reason UM "could not be run on fewer
+  than 2 nodes (for 24 processes, three nodes had to be used)" — the
+  memory constraint is enforced by the application drivers.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import CoreSpec, CpuSpec, SocketSpec
+from repro.hardware.interconnect import EthernetFabric, SharedMemoryFabric
+from repro.hardware.node import NodeSpec
+from repro.hardware.storage import NFS_EC2
+from repro.platforms.base import PlatformSpec
+from repro.virt.jitter import STOCK_GUEST_VM
+from repro.virt.xen import XenHvm
+
+_X5570 = CoreSpec(clock_hz=2.93e9, flops_per_cycle=1.10, sse4=True)
+
+_SOCKET = SocketSpec(
+    cores=4,
+    core=_X5570,
+    l2_cache_bytes=8 << 20,
+    mem_bw=16e9,
+)
+
+_CPU = CpuSpec(
+    model="Intel Xeon X5570",
+    sockets=2,
+    socket=_SOCKET,
+    smt=2,
+    smt_enabled=True,  # the guest schedules on 16 hardware threads
+    smt_yield=1.25,
+)
+
+_NODE = NodeSpec(name="ec2", cpu=_CPU, dram_bytes=20 << 30)
+
+EC2 = PlatformSpec(
+    name="EC2",
+    description="Amazon cc1.4xlarge StarCluster, placement group, 10 GigE, Xen",
+    num_nodes=4,
+    node=_NODE,
+    fabric=EthernetFabric(
+        "10 GigE (Xen)",
+        latency=22e-6,
+        peak_bw=590e6,
+        n_half=4 * 1024,  # ~7 us per-packet netfront/netback cost
+        decline=0.25,
+        o_send=5e-6,
+        o_recv=5e-6,
+        eager_threshold=64 * 1024,
+    ),
+    shm=SharedMemoryFabric(peak_bw=3.0e9),
+    fs=NFS_EC2,
+    hypervisor_factory=XenHvm,
+    noise=STOCK_GUEST_VM,
+    numa_affinity_enforced=False,
+    numa_penalty_factor=0.85,
+    numa_penalty_spread=0.04,
+    numa_burst_noise=0.05,
+    isa_features=frozenset({"sse2", "sse3", "ssse3", "sse4"}),
+    os_name="CentOS 5.7",
+    interconnect_label="10 GigE",
+    scheduler="StarCluster/SGE",
+)

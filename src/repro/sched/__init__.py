@@ -1,0 +1,31 @@
+"""Batch scheduling: jobs, the ANUPBS-style scheduler, cloudbursting.
+
+The paper's motivation (section II) is operational: the supercomputer is
+"a highly contended resource", some workloads "may not make good use of
+the cluster", and a facility that can package its environment into VMs
+"gains the ability to cloudburst as a means of responding to peak
+demand".  This subpackage provides the substrate those arguments run on:
+
+* :mod:`repro.sched.job` — job descriptions with resource shapes and
+  communication/memory profiles (the ARRIVE-F classification inputs);
+* :mod:`repro.sched.anupbs` — a suspend-resume batch scheduler in the
+  style of Vayu's ANUPBS;
+* :mod:`repro.sched.cloudburst` — the burst policy: when queueing delay
+  exceeds a threshold and a job's profile fits commodity networking,
+  run it on a (Star)cluster in the cloud instead, optionally on spot
+  instances.
+"""
+
+from repro.sched.job import Job, JobProfile, JobState
+from repro.sched.anupbs import AnupbsScheduler, SchedulerMetrics
+from repro.sched.cloudburst import BurstDecision, CloudBurstPolicy
+
+__all__ = [
+    "AnupbsScheduler",
+    "BurstDecision",
+    "CloudBurstPolicy",
+    "Job",
+    "JobProfile",
+    "JobState",
+    "SchedulerMetrics",
+]

@@ -1,0 +1,197 @@
+"""An ANUPBS-style suspend-resume batch scheduler.
+
+Vayu's in-house scheduler manages jobs "using a suspend-resume scheme"
+(paper section IV): instead of leaving cores idle for a large reservation
+to drain, high-priority work suspends running lower-priority jobs and
+takes their cores; the suspended jobs resume when capacity frees up.
+
+The simulation is event-stepped on job arrivals and completions; it
+tracks per-job wait times and machine utilisation — the quantities the
+cloudburst policy and the ARRIVE-F throughput experiment consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import typing as _t
+
+from repro.errors import SchedulerError
+from repro.sched.job import Job, JobState
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SchedulerMetrics:
+    """Summary statistics of one scheduling run."""
+
+    jobs_completed: int
+    mean_wait: float
+    max_wait: float
+    mean_turnaround: float
+    utilisation: float
+    suspensions: int
+
+    def __str__(self) -> str:
+        return (
+            f"jobs={self.jobs_completed} mean_wait={self.mean_wait:.0f}s "
+            f"max_wait={self.max_wait:.0f}s turnaround={self.mean_turnaround:.0f}s "
+            f"util={100 * self.utilisation:.1f}% suspensions={self.suspensions}"
+        )
+
+
+class AnupbsScheduler:
+    """Suspend-resume scheduler over a fixed pool of cores."""
+
+    def __init__(self, total_cores: int, *, suspend_resume: bool = True) -> None:
+        if total_cores < 1:
+            raise SchedulerError(f"total_cores must be >= 1: {total_cores}")
+        self.total_cores = total_cores
+        self.suspend_resume = suspend_resume
+        self.now = 0.0
+        self.queue: list[Job] = []
+        self.running: list[Job] = []
+        self.suspended: list[Job] = []
+        self.done: list[Job] = []
+        self._busy_integral = 0.0
+        self._last_time = 0.0
+
+    # -- state helpers -----------------------------------------------------
+    @property
+    def cores_in_use(self) -> int:
+        return sum(j.cores for j in self.running)
+
+    @property
+    def cores_free(self) -> int:
+        return self.total_cores - self.cores_in_use
+
+    def queued_wait_estimate(self, job: Job) -> float:
+        """Rough start-delay estimate for a queued job: drain time of the
+        work ahead of it at full machine throughput."""
+        ahead = [j for j in self.queue if j.submit_time <= job.submit_time and j is not job]
+        backlog = sum(j.cores * j.remaining for j in ahead)
+        backlog += sum(j.cores * j.remaining for j in self.running + self.suspended)
+        return backlog / self.total_cores
+
+    # -- event mechanics --------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Add a job to the queue (time must not move backwards)."""
+        if job.submit_time < self.now:
+            raise SchedulerError(
+                f"job {job.job_id} submitted in the past "
+                f"({job.submit_time} < {self.now})"
+            )
+        self._advance(job.submit_time)
+        job.state = JobState.QUEUED
+        self.queue.append(job)
+        self._schedule()
+
+    def remove(self, job: Job) -> None:
+        """Withdraw a queued job (used by the cloudburst policy)."""
+        if job not in self.queue:
+            raise SchedulerError(f"job {job.job_id} is not queued here")
+        self.queue.remove(job)
+
+    def _advance(self, until: float) -> None:
+        """Run completions up to time ``until``."""
+        while True:
+            if not self.running:
+                break
+            next_finish = min(self.now + j.remaining for j in self.running)
+            if next_finish > until:
+                break
+            self._progress_to(next_finish)
+            finished = [j for j in self.running if j.remaining <= 1e-9]
+            for job in finished:
+                self.running.remove(job)
+                job.state = JobState.DONE
+                job.finish_time = self.now
+                self.done.append(job)
+            self._schedule()
+        self._progress_to(until)
+
+    def _progress_to(self, t: float) -> None:
+        if t < self.now:
+            raise SchedulerError("scheduler time went backwards")
+        dt = t - self.now
+        self._busy_integral += self.cores_in_use * dt
+        for job in self.running:
+            job.progress += dt
+        self.now = t
+
+    def _schedule(self) -> None:
+        """Start/resume/suspend jobs per priority and free capacity."""
+        # Resume suspended work first (it holds no cores while suspended).
+        self.queue.sort(key=lambda j: (-j.priority, j.submit_time, j.job_id))
+        for job in list(self.suspended):
+            if job.cores <= self.cores_free:
+                self.suspended.remove(job)
+                job.state = JobState.RUNNING
+                self.running.append(job)
+        for job in list(self.queue):
+            if job.cores > self.total_cores:
+                raise SchedulerError(
+                    f"job {job.job_id} needs {job.cores} cores; machine has "
+                    f"{self.total_cores}"
+                )
+            if job.cores <= self.cores_free:
+                self._start(job)
+            elif self.suspend_resume and job.priority > 0:
+                # Suspend enough lower-priority running jobs to fit.
+                victims = sorted(
+                    (j for j in self.running if j.priority < job.priority),
+                    key=lambda j: (j.priority, -j.start_time if j.start_time else 0),
+                )
+                reclaim = 0
+                chosen = []
+                for victim in victims:
+                    if self.cores_free + reclaim >= job.cores:
+                        break
+                    chosen.append(victim)
+                    reclaim += victim.cores
+                if self.cores_free + reclaim >= job.cores:
+                    for victim in chosen:
+                        self.running.remove(victim)
+                        victim.state = JobState.SUSPENDED
+                        victim.suspend_count += 1
+                        self.suspended.append(victim)
+                    self._start(job)
+
+    def _start(self, job: Job) -> None:
+        self.queue.remove(job)
+        job.state = JobState.RUNNING
+        if job.start_time is None:
+            job.start_time = self.now
+        self.running.append(job)
+
+    def run_until_drained(self, horizon: float = float("inf")) -> None:
+        """Process all remaining work (bounded by ``horizon``)."""
+        guard = 0
+        while (self.running or self.queue or self.suspended) and self.now < horizon:
+            if not self.running:
+                # Queued work that can never start means a sizing bug.
+                raise SchedulerError(
+                    f"scheduler wedged at t={self.now}: queue="
+                    f"{[j.job_id for j in self.queue]}"
+                )
+            next_finish = min(self.now + j.remaining for j in self.running)
+            self._advance(min(next_finish, horizon))
+            guard += 1
+            if guard > 1_000_000:  # pragma: no cover - runaway guard
+                raise SchedulerError("scheduler failed to converge")
+
+    # -- reporting --------------------------------------------------------------
+    def metrics(self) -> SchedulerMetrics:
+        """Statistics over completed jobs."""
+        if not self.done:
+            raise SchedulerError("no completed jobs to report on")
+        waits = [j.wait_time for j in self.done]
+        turnarounds = [j.finish_time - j.submit_time for j in self.done]  # type: ignore[operator]
+        util = self._busy_integral / (self.total_cores * self.now) if self.now else 0.0
+        return SchedulerMetrics(
+            jobs_completed=len(self.done),
+            mean_wait=sum(waits) / len(waits),
+            max_wait=max(waits),
+            mean_turnaround=sum(turnarounds) / len(turnarounds),
+            utilisation=util,
+            suspensions=sum(j.suspend_count for j in self.done),
+        )

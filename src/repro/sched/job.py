@@ -1,0 +1,83 @@
+"""Job descriptions for the batch-scheduling substrate."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import SchedulerError
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a batch job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    DONE = "done"
+    BURSTED = "bursted"  # handed to a cloud resource
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class JobProfile:
+    """Resource-usage profile (what ARRIVE-F's online profiling yields).
+
+    Fractions are of total runtime: ``comm_fraction`` in MPI,
+    ``mem_boundedness`` the memory-bandwidth-bound share of compute;
+    ``msg_small_fraction`` the share of MPI time in sub-eager-size
+    messages (latency-sensitive work, the worst fit for cloud networks).
+    """
+
+    comm_fraction: float = 0.1
+    mem_boundedness: float = 0.3
+    msg_small_fraction: float = 0.5
+    io_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("comm_fraction", "mem_boundedness", "msg_small_fraction", "io_fraction"):
+            v = getattr(self, name)
+            if not (0.0 <= v <= 1.0):
+                raise SchedulerError(f"{name} must be in [0,1]: {v}")
+
+
+@dataclasses.dataclass(slots=True)
+class Job:
+    """One batch job."""
+
+    job_id: int
+    user: str
+    cores: int
+    runtime_estimate: float
+    submit_time: float
+    priority: int = 0
+    profile: JobProfile = JobProfile()
+    #: Actual runtime (defaults to the estimate; schedulers don't know it).
+    actual_runtime: float | None = None
+
+    state: JobState = JobState.QUEUED
+    start_time: float | None = None
+    finish_time: float | None = None
+    #: Accumulated execution progress (seconds of work completed).
+    progress: float = 0.0
+    suspend_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise SchedulerError(f"job {self.job_id}: cores must be >= 1")
+        if self.runtime_estimate <= 0:
+            raise SchedulerError(f"job {self.job_id}: bad runtime estimate")
+        if self.actual_runtime is None:
+            self.actual_runtime = self.runtime_estimate
+
+    @property
+    def remaining(self) -> float:
+        """Seconds of work left."""
+        assert self.actual_runtime is not None
+        return max(0.0, self.actual_runtime - self.progress)
+
+    @property
+    def wait_time(self) -> float:
+        """Queue wait (requires the job to have started)."""
+        if self.start_time is None:
+            raise SchedulerError(f"job {self.job_id} has not started")
+        return self.start_time - self.submit_time

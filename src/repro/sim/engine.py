@@ -1,0 +1,142 @@
+"""The discrete-event engine: virtual clock plus event loop.
+
+The engine owns a binary heap of ``(time, sequence, event)`` entries.
+Determinism is guaranteed by the monotonically increasing sequence number,
+which breaks ties between events scheduled for the same instant in
+scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for :attr:`rng`; every stochastic model in the
+        simulation must derive its randomness from this tree so that a
+        run is fully reproducible.
+    trace:
+        When true, a :class:`~repro.sim.trace.Tracer` is attached and
+        records every dispatched event (useful in tests and debugging,
+        too slow for production sweeps).
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq: int = 0
+        self.rng = RandomStreams(seed)
+        self.tracer: Tracer | None = Tracer() if trace else None
+        #: Number of processes currently blocked on an untriggered event.
+        self._blocked: int = 0
+        #: Total events dispatched (exposed for performance accounting).
+        self.dispatched: int = 0
+
+    # -- factories -------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: _t.Sequence[Event]) -> AllOf:
+        """Composite event firing when every event in ``events`` fires."""
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Sequence[Event]) -> AnyOf:
+        """Composite event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def process(self, generator: _t.Generator, name: str = "") -> "Process":
+        """Spawn a simulated process driving ``generator``."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- scheduling (engine internal) -------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        """Queue ``event`` for dispatch ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past ({delay!r})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def call_at(self, when: float, fn: _t.Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute simulated time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(
+                f"call_at({when!r}) is in the past (now={self.now!r})"
+            )
+        ev = Timeout(self, when - self.now)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    # -- running ----------------------------------------------------------
+    def step(self) -> float:
+        """Dispatch the next event; return the new simulated time."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:  # pragma: no cover - internal invariant
+            raise SimulationError("event queue time went backwards")
+        self.now = when
+        self.dispatched += 1
+        if self.tracer is not None:
+            self.tracer.record(self.now, "dispatch", event.name or type(event).__name__)
+        event._dispatch()
+        return self.now
+
+    def run(self, until: float | Event | None = None) -> _t.Any:
+        """Run the event loop.
+
+        ``until`` may be:
+
+        * ``None`` — run until the queue drains.  If processes are still
+          blocked at that point a :class:`~repro.errors.DeadlockError` is
+          raised, because that always indicates a protocol bug (e.g. a
+          ``recv`` with no matching ``send``).
+        * a ``float`` — run until the clock reaches that time.
+        * an :class:`Event` — run until that event fires, returning its
+          value (and re-raising its failure).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not (target.triggered and target.callbacks is None):
+                if not self._heap:
+                    raise DeadlockError(self._blocked)
+                self.step()
+            return target.value
+        if until is None:
+            while self._heap:
+                self.step()
+            if self._blocked:
+                raise DeadlockError(self._blocked)
+            return None
+        horizon = float(until)
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self.now = max(self.now, horizon)
+        return None
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``inf`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Engine now={self.now:.6g} queued={len(self._heap)} "
+            f"dispatched={self.dispatched}>"
+        )

@@ -1,0 +1,116 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` drives a Python generator.  The generator describes
+behaviour in virtual time by yielding:
+
+* an :class:`~repro.sim.events.Event` (including :class:`Timeout`,
+  :class:`AllOf`, another :class:`Process`, ...) — the process blocks
+  until the event fires and the ``yield`` expression evaluates to the
+  event's value;
+* a ``float``/``int`` — shorthand for ``engine.timeout(value)``.
+
+A process is itself an :class:`Event` that succeeds with the generator's
+return value (or fails with its uncaught exception), so processes can wait
+on each other by yielding them.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Process(Event):
+    """A simulated process executing a generator in virtual time."""
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, engine: "Engine", generator: _t.Generator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you call the generator function?"
+            )
+        super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Event | None = None
+        # Start the process at the current simulated instant (but after the
+        # caller's current event finishes dispatching) for determinism.
+        kick = engine.event(f"start:{self.name}")
+        kick.add_callback(self._resume)
+        kick.succeed(None)
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not yet finished."""
+        return not self.triggered
+
+    def interrupt(self, exc: BaseException | None = None) -> None:
+        """Throw ``exc`` (default :class:`Interrupted`) into the process."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        exc = exc or Interrupted(self)
+        wake = self.engine.event(f"interrupt:{self.name}")
+        wake.add_callback(lambda _ev: self._step(exc, is_error=True))
+        wake.succeed(None)
+
+    # -- engine plumbing --------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Callback invoked when the event we were waiting on fires."""
+        self._waiting_on = None
+        if event._exc is not None:
+            self._step(event._exc, is_error=True)
+        else:
+            self._step(event._value, is_error=False)
+
+    def _step(self, value: _t.Any, *, is_error: bool) -> None:
+        engine = self.engine
+        try:
+            if is_error:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupted:
+            # An unhandled interrupt terminates the process quietly.
+            self.succeed(None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberate catch-all
+            self.fail(exc)
+            return
+
+        if isinstance(target, (int, float)):
+            target = engine.timeout(target)
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded {target!r}; expected an Event "
+                "or a numeric delay"
+            )
+            self.fail(err)
+            return
+        self._waiting_on = target
+        engine._blocked += 1
+        target.add_callback(self._resume_unblock)
+
+    def _resume_unblock(self, event: Event) -> None:
+        self.engine._blocked -= 1
+        self._resume(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else ("waiting" if self._waiting_on else "ready")
+        return f"<Process {self.name!r} {state}>"
+
+
+class Interrupted(Exception):
+    """Raised inside a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, process: Process) -> None:
+        super().__init__(f"process {process.name!r} interrupted")
+        self.process = process

@@ -1,0 +1,49 @@
+"""Structured event tracing for debugging and analysis.
+
+The tracer is optional (off by default — tracing every event in a 64-rank
+NPB run is far too slow for sweeps) but invaluable in tests: assertions can
+inspect exactly which events fired and when.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced occurrence: a timestamp, a kind, and a label."""
+
+    time: float
+    kind: str
+    label: str
+    data: _t.Any = None
+
+
+class Tracer:
+    """Accumulates :class:`TraceRecord` entries in dispatch order."""
+
+    def __init__(self, limit: int | None = None) -> None:
+        self.records: list[TraceRecord] = []
+        #: Optional cap to bound memory in long runs; oldest kept.
+        self.limit = limit
+        self.dropped = 0
+
+    def record(self, time: float, kind: str, label: str, data: _t.Any = None) -> None:
+        """Append a record (drops silently past :attr:`limit`)."""
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, kind, label, data))
+
+    def filter(self, kind: str | None = None, label_prefix: str = "") -> list[TraceRecord]:
+        """Records matching ``kind`` (if given) and a label prefix."""
+        return [
+            r
+            for r in self.records
+            if (kind is None or r.kind == kind) and r.label.startswith(label_prefix)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,41 @@
+"""Collective-communication cost models.
+
+Collectives in the simulator are *synchronising composite operations*:
+all participating ranks arrive, the completion time is
+``max(arrival) + algorithm_time``, and each rank's MPI time is
+``completion - its own arrival`` — so compute imbalance surfaces as
+communication wait exactly the way IPM reports it on the real systems
+(paper sections V-C.1/2).
+
+``algorithm_time`` comes from the standard algorithm models in
+:mod:`repro.smpi.collectives.algorithms`, made topology-aware by
+splitting rounds into inter-node rounds (paying fabric latency, with the
+node link shared by all co-resident ranks) and intra-node rounds (paying
+shared-memory costs).
+"""
+
+from repro.smpi.collectives.algorithms import (
+    CollectiveContext,
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    barrier_time,
+    bcast_time,
+    gather_time,
+    reduce_scatter_time,
+    reduce_time,
+    scatter_time,
+)
+
+__all__ = [
+    "CollectiveContext",
+    "allgather_time",
+    "allreduce_time",
+    "alltoall_time",
+    "barrier_time",
+    "bcast_time",
+    "gather_time",
+    "reduce_scatter_time",
+    "reduce_time",
+    "scatter_time",
+]

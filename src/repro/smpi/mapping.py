@@ -1,0 +1,103 @@
+"""Rank-to-node placement policies.
+
+Placement is a first-order performance factor in the paper:
+
+* NPB runs fill nodes in *block* order, so a 16-process job on DCC's
+  8-core nodes spans two nodes (the GigE cliff at 16 in Fig 4) and on
+  EC2's 16-slot nodes stays on one node but hits HyperThreading;
+* the UM EC2 runs distribute processes "evenly across the nodes"
+  (*cyclic* over a chosen node count), and the EC2-4 series fixes four
+  nodes to avoid oversubscription.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+from repro.platforms.base import Platform
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Placement:
+    """A placement policy.
+
+    Parameters
+    ----------
+    strategy:
+        ``"block"`` fills each node to its limit before the next;
+        ``"cyclic"`` deals ranks round-robin over the selected nodes.
+    num_nodes:
+        Use exactly this many nodes (ranks spread over them); ``None``
+        lets block placement use as few nodes as possible and makes
+        cyclic placement use all nodes of the platform.
+    ranks_per_node:
+        Cap on ranks per node; ``None`` means the node's schedulable
+        slot count.
+    """
+
+    strategy: str = "block"
+    num_nodes: int | None = None
+    ranks_per_node: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("block", "cyclic"):
+            raise ConfigError(f"unknown placement strategy {self.strategy!r}")
+        if self.num_nodes is not None and self.num_nodes < 1:
+            raise ConfigError(f"num_nodes must be >= 1: {self.num_nodes}")
+        if self.ranks_per_node is not None and self.ranks_per_node < 1:
+            raise ConfigError(f"ranks_per_node must be >= 1: {self.ranks_per_node}")
+
+
+def place_ranks(platform: Platform, nprocs: int, placement: Placement | None = None) -> None:
+    """Assign ``nprocs`` ranks to the platform's nodes and sockets.
+
+    Fills each :class:`~repro.hardware.node.Node`'s resident-rank census,
+    registers ranks with the topology, and resolves the per-rank compute
+    models (:meth:`Platform.finalize_placement`).
+    """
+    placement = placement or Placement()
+    if nprocs < 1:
+        raise ConfigError(f"nprocs must be >= 1, got {nprocs}")
+    spec = platform.spec
+    slots = spec.node.cpu.schedulable_slots
+    per_node_cap = placement.ranks_per_node or slots
+
+    if placement.strategy == "block":
+        nodes_needed = -(-nprocs // per_node_cap)  # ceil
+        use_nodes = placement.num_nodes or nodes_needed
+    else:
+        use_nodes = placement.num_nodes or spec.num_nodes
+
+    if use_nodes > spec.num_nodes:
+        raise ConfigError(
+            f"placement needs {use_nodes} nodes but {spec.name} has only "
+            f"{spec.num_nodes}"
+        )
+    if use_nodes * per_node_cap < nprocs:
+        raise ConfigError(
+            f"cannot place {nprocs} ranks on {use_nodes} node(s) with "
+            f"{per_node_cap} ranks/node"
+        )
+
+    nodes = platform.nodes[:use_nodes]
+    if placement.strategy == "block":
+        node_idx = 0
+        for rank in range(nprocs):
+            while nodes[node_idx].nranks >= per_node_cap:
+                node_idx += 1
+            node = nodes[node_idx]
+            node.place_rank(rank)
+            platform.topology.register(rank, node)
+    else:  # cyclic
+        for rank in range(nprocs):
+            node = nodes[rank % use_nodes]
+            node.place_rank(rank)
+            platform.topology.register(rank, node)
+
+    platform.finalize_placement()
+
+
+def ranks_per_node_used(platform: Platform) -> int:
+    """Largest resident-rank count over the platform's occupied nodes."""
+    return max((node.nranks for node in platform.nodes if node.nranks), default=0)

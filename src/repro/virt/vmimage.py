@@ -1,0 +1,98 @@
+"""Virtual machine images.
+
+A :class:`VmImage` is the artefact produced by the paper's central
+workflow: building application codes inside a traditional HPC environment
+(Vayu's ``/apps`` + ``modules`` stack) and packaging the binaries plus
+their dependency closure into an image that boots on the private cloud or
+on EC2.  The image records enough metadata for the compatibility checks
+that the paper encountered in practice (the SSE4 incident: a binary
+compiled with SSE4 on Vayu would not run on hosts lacking the feature).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import CloudError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class InstalledPackage:
+    """One entry of the image's software stack (``/apps`` style)."""
+
+    name: str
+    version: str
+    prefix: str = "/apps"
+
+    @property
+    def path(self) -> str:
+        """Install location inside the image."""
+        return f"{self.prefix}/{self.name}/{self.version}"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ApplicationBinary:
+    """A compiled application carried by an image.
+
+    ``isa_flags`` are the instruction-set features the binary *requires*
+    at run time (e.g. ``{"sse4"}`` when compiled with ``-xSSE4.2``);
+    ``requires`` lists the package names it is dynamically linked
+    against.
+    """
+
+    name: str
+    version: str
+    compiler: str
+    isa_flags: frozenset[str] = frozenset()
+    requires: tuple[str, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VmImage:
+    """An immutable, bootable VM image."""
+
+    name: str
+    os_name: str
+    packages: tuple[InstalledPackage, ...] = ()
+    binaries: tuple[ApplicationBinary, ...] = ()
+    size_bytes: int = 8 << 30
+
+    def package_names(self) -> frozenset[str]:
+        """Names of all installed packages."""
+        return frozenset(p.name for p in self.packages)
+
+    def find_binary(self, name: str) -> ApplicationBinary:
+        """Look up a binary by name; raises :class:`CloudError` if absent."""
+        for b in self.binaries:
+            if b.name == name:
+                return b
+        raise CloudError(f"binary {name!r} not present in image {self.name!r}")
+
+    def missing_dependencies(self) -> dict[str, list[str]]:
+        """Map binary name -> dependency packages absent from the image.
+
+        An empty dict means the dependency closure is complete — the
+        property the paper's rsync-based packaging workflow establishes.
+        """
+        have = self.package_names()
+        missing: dict[str, list[str]] = {}
+        for b in self.binaries:
+            absent = [dep for dep in b.requires if dep not in have]
+            if absent:
+                missing[b.name] = absent
+        return missing
+
+    def check_isa(self, host_features: _t.Collection[str]) -> dict[str, list[str]]:
+        """Map binary name -> ISA features the host lacks.
+
+        This is the check that would have caught the paper's SSE4
+        incident before deployment.
+        """
+        host = frozenset(host_features)
+        problems: dict[str, list[str]] = {}
+        for b in self.binaries:
+            lacking = sorted(b.isa_flags - host)
+            if lacking:
+                problems[b.name] = lacking
+        return problems

@@ -1,0 +1,195 @@
+"""Tests for the MetUM and Chaste application models."""
+
+import pytest
+
+from repro.apps.chaste import ChasteBenchmark, ChasteConfig, HeartMesh, partition_stats
+from repro.apps.chaste.model import KSP_REGION, OUTPUT_REGION
+from repro.apps.metum import (
+    MetumBenchmark,
+    MetumConfig,
+    N320L70,
+    decompose,
+    factor_procgrid,
+)
+from repro.apps.metum.grid import physics_weight
+from repro.errors import ConfigError
+from repro.platforms import DCC, EC2, VAYU
+
+
+class TestUmGrid:
+    def test_procgrid_factorises(self):
+        for p in (1, 2, 4, 8, 16, 24, 32, 48, 64):
+            ew, ns = factor_procgrid(p)
+            assert ew * ns == p and ew >= ns
+
+    def test_decompose_conserves_grid(self):
+        for p in (8, 32):
+            nx = ny = 0
+            ew, ns = factor_procgrid(p)
+            cols = {decompose(N320L70, p, r)[0].nx for r in range(ew)}
+            total_x = sum(decompose(N320L70, p, r)[0].nx for r in range(ew))
+            total_y = sum(
+                decompose(N320L70, p, r * ew)[0].ny for r in range(ns)
+            )
+            assert total_x == 640
+            assert total_y == 481
+
+    def test_uneven_latitude_rows(self):
+        # 481 rows over 4 NS ranks: one rank gets the extra row.
+        _, ew, ns = decompose(N320L70, 32, 0)
+        sizes = {decompose(N320L70, 32, r * ew)[0].ny for r in range(ns)}
+        assert sizes == {120, 121}
+
+    def test_polar_subdomains_flagged(self):
+        sub0, ew, ns = decompose(N320L70, 32, 0)
+        sub_last, _, _ = decompose(N320L70, 32, 31)
+        assert sub0.touches_pole and sub_last.touches_pole
+
+    def test_physics_weight_mean_near_one(self):
+        p = 32
+        sub0, ew, ns = decompose(N320L70, p, 0)
+        weights = [physics_weight(decompose(N320L70, p, r)[0], ew, ns)
+                   for r in range(p)]
+        assert sum(weights) / p == pytest.approx(1.0, abs=0.05)
+        assert max(weights) > 1.2  # enough spread for Table III's %imbal
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ConfigError):
+            decompose(N320L70, 8, 9)
+
+
+class TestMetumModel:
+    def test_config_validates_fractions(self):
+        with pytest.raises(ConfigError):
+            MetumConfig(dynamics_frac=0.5, helmholtz_frac=0.5, physics_frac=0.5)
+
+    def test_memory_forces_two_ec2_nodes(self):
+        bench = MetumBenchmark()
+        placement = bench.placement_for(EC2, 8)
+        assert placement.num_nodes == 2
+        with pytest.raises(ConfigError):
+            bench.placement_for(EC2, 8, num_nodes=1)
+
+    def test_vayu_fits_one_node(self):
+        assert MetumBenchmark().placement_for(VAYU, 8).num_nodes == 1
+
+    def test_t8_calibration(self):
+        from repro.harness.paper import FIG6_T8
+
+        bench = MetumBenchmark(sim_steps=2)
+        vayu = bench.run(VAYU, 8, seed=3).warmed_time
+        dcc = bench.run(DCC, 8, seed=3).warmed_time
+        assert vayu == pytest.approx(FIG6_T8["Vayu"], rel=0.12)
+        assert dcc == pytest.approx(FIG6_T8["DCC"], rel=0.15)
+
+    def test_io_times_match_table3(self):
+        bench = MetumBenchmark(sim_steps=1)
+        io_v = bench.run(VAYU, 32, seed=1).io_time
+        io_d = bench.run(DCC, 32, seed=1).io_time
+        assert io_v == pytest.approx(4.5, rel=0.15)
+        assert io_d == pytest.approx(37.8, rel=0.15)
+
+    def test_ec2_four_nodes_much_faster_at_32(self):
+        """'using 4 nodes versus two is almost twice as fast' (V-C.2)."""
+        bench = MetumBenchmark(sim_steps=2)
+        two = bench.run(EC2, 32, num_nodes=2, seed=3).warmed_time
+        four = bench.run(EC2, 32, num_nodes=4, seed=3).warmed_time
+        assert two / four > 1.6
+
+    def test_dcc_comm_share_far_exceeds_vayu(self):
+        bench = MetumBenchmark(sim_steps=2)
+        dcc = bench.run(DCC, 32, seed=3).comm_percent()
+        vayu = bench.run(VAYU, 32, seed=3).comm_percent()
+        assert dcc > 2 * vayu
+
+    def test_warmed_time_excludes_io(self):
+        bench = MetumBenchmark(sim_steps=1)
+        r = bench.run(DCC, 8, seed=1)
+        assert r.total_time == pytest.approx(r.warmed_time + r.io_time)
+
+    def test_step_region_present_with_subregions(self):
+        r = MetumBenchmark(sim_steps=1).run(VAYU, 8, seed=1)
+        names = r.monitor.region_names()
+        assert {"ATM_STEP", "atm_dynamics", "atm_helmholtz", "atm_physics"} <= set(names)
+
+
+class TestChasteMesh:
+    def test_partition_conserves_scale(self):
+        mesh = HeartMesh()
+        sizes = [partition_stats(mesh, 16, r).local_nodes for r in range(16)]
+        assert sum(sizes) == pytest.approx(mesh.nodes, rel=0.05)
+
+    def test_partition_imbalance_bounded(self):
+        mesh = HeartMesh()
+        sizes = [partition_stats(mesh, 16, r).local_nodes for r in range(16)]
+        spread = (max(sizes) - min(sizes)) / (mesh.nodes / 16)
+        assert spread <= 2 * mesh.partition_imbalance + 1e-9
+
+    def test_halo_surface_scaling(self):
+        mesh = HeartMesh()
+        h8 = partition_stats(mesh, 8, 0).halo_nodes
+        h64 = partition_stats(mesh, 64, 0).halo_nodes
+        # Surface ~ (N/p)^(2/3): 8x fewer nodes -> 4x smaller surface.
+        assert h8 / h64 == pytest.approx(4.0, rel=0.3)
+
+    def test_serial_partition_has_no_halo(self):
+        assert partition_stats(HeartMesh(), 1, 0).halo_nodes == 0
+
+    def test_deterministic(self):
+        a = partition_stats(HeartMesh(), 8, 3)
+        b = partition_stats(HeartMesh(), 8, 3)
+        assert a == b
+
+
+class TestChasteModel:
+    def test_t8_calibration(self):
+        from repro.harness.paper import FIG5_T8_ADOPTED
+
+        bench = ChasteBenchmark(sim_steps=2)
+        r_vayu = bench.run(VAYU, 8, seed=3)
+        r_dcc = bench.run(DCC, 8, seed=3)
+        assert r_vayu.ksp_time == pytest.approx(FIG5_T8_ADOPTED["vayu_ksp"], rel=0.15)
+        assert r_dcc.ksp_time == pytest.approx(FIG5_T8_ADOPTED["dcc_ksp"], rel=0.2)
+
+    def test_ksp_comm_entirely_four_byte_allreduces(self):
+        """The paper's KSp observation, checked via the IPM histogram."""
+        bench = ChasteBenchmark(sim_steps=1)
+        r = bench.run(DCC, 16, seed=1)
+        ksp = r.monitor[0].regions[KSP_REGION]
+        sizes = ksp.call_sizes("MPI_Allreduce")
+        assert set(sizes) == {4}
+        assert sizes[4].count == 2 * bench.cfg.ksp_iters
+
+    def test_dcc_scaling_much_poorer(self):
+        bench = ChasteBenchmark(sim_steps=2)
+        sv = {}
+        for spec in (VAYU, DCC):
+            t8 = bench.run(spec, 8, seed=3).total_time
+            t64 = bench.run(spec, 64, seed=3).total_time
+            sv[spec.name] = t8 / t64
+        assert sv["Vayu"] > 2 * sv["DCC"]
+        assert sv["DCC"] < 3.5
+
+    def test_dcc_comm_half_at_32(self):
+        bench = ChasteBenchmark(sim_steps=2)
+        pct = bench.run(DCC, 32, seed=3).comm_percent()
+        assert 30 < pct < 65  # paper: 48%
+
+    def test_output_constant_on_nfs_inverse_on_lustre(self):
+        bench = ChasteBenchmark(sim_steps=1)
+        out_v8 = bench.run(VAYU, 8, seed=1).section_wall(OUTPUT_REGION)
+        out_v64 = bench.run(VAYU, 64, seed=1).section_wall(OUTPUT_REGION)
+        out_d8 = bench.run(DCC, 8, seed=1).section_wall(OUTPUT_REGION)
+        out_d64 = bench.run(DCC, 64, seed=1).section_wall(OUTPUT_REGION)
+        assert out_v64 > 2 * out_v8  # inverse scaling on Lustre
+        assert out_d64 == pytest.approx(out_d8, rel=0.35)  # ~constant on NFS
+
+    def test_input_mesh_weak_scaling(self):
+        """'input mesh ... scaled identically on both systems (1.25
+        speedup at 64 cores over 8 cores)' (V-C.1)."""
+        from repro.apps.chaste.model import INPUT_REGION
+
+        bench = ChasteBenchmark(sim_steps=1)
+        t8 = bench.run(VAYU, 8, seed=1).section_wall(INPUT_REGION)
+        t64 = bench.run(VAYU, 64, seed=1).section_wall(INPUT_REGION)
+        assert t8 / t64 == pytest.approx(1.25, rel=0.25)

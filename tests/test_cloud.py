@@ -1,0 +1,235 @@
+"""Tests for the cloud substrate: modules, packaging, EC2, StarCluster."""
+
+import pytest
+
+from repro.cloud import (
+    BuildRecipe,
+    CC1_4XLARGE,
+    ClusterTemplate,
+    Ec2Api,
+    HpcEnvironment,
+    ModulesEnvironment,
+    PackagingError,
+    StarCluster,
+)
+from repro.cloud.ec2api import M1_LARGE
+from repro.cloud.modulesenv import ModuleDef
+from repro.cloud.packaging import deploy_check
+from repro.cloud.pricing import PriceBook, SpotMarket
+from repro.errors import CloudError
+from repro.platforms import DCC, EC2, VAYU
+
+
+def vayu_env() -> HpcEnvironment:
+    mods = ModulesEnvironment()
+    mods.install(ModuleDef("intel-fc", "11.1.072"))
+    mods.install(ModuleDef("openmpi", "1.4.3", requires=("intel-fc",)))
+    mods.install(ModuleDef("netcdf", "4.1.1", requires=("intel-fc",)))
+    return HpcEnvironment(VAYU, mods)
+
+
+class TestModulesEnvironment:
+    def test_install_and_avail(self):
+        env = vayu_env().modules
+        assert "openmpi/1.4.3" in env.avail()
+
+    def test_load_pulls_dependencies(self):
+        env = vayu_env().modules
+        env.load("openmpi")
+        assert {m.name for m in env.loaded()} == {"intel-fc", "openmpi"}
+
+    def test_conflicting_versions_rejected(self):
+        env = vayu_env().modules
+        env.install(ModuleDef("openmpi", "1.6.0", requires=("intel-fc",)), default=False)
+        env.load("openmpi/1.4.3")
+        with pytest.raises(CloudError):
+            env.load("openmpi/1.6.0")
+
+    def test_missing_dependency_at_install(self):
+        env = ModulesEnvironment()
+        with pytest.raises(CloudError):
+            env.install(ModuleDef("app", "1.0", requires=("nonexistent",)))
+
+    def test_closure_dep_first(self):
+        env = vayu_env().modules
+        closure = env.closure(["netcdf", "openmpi"])
+        names = [m.name for m in closure]
+        assert names.index("intel-fc") < names.index("netcdf")
+        assert len(names) == len(set(names))
+
+    def test_unload(self):
+        env = vayu_env().modules
+        env.load("intel-fc")
+        env.unload("intel-fc")
+        assert env.loaded() == []
+        with pytest.raises(CloudError):
+            env.unload("intel-fc")
+
+
+class TestPackaging:
+    def test_sse4_binary_refused_on_dcc(self):
+        """The paper's SSE4 incident (sections V-C and VI)."""
+        env = vayu_env()
+        env.build(BuildRecipe("um", "7.8", "intel-fc",
+                              compiler_flags=("-xHost",),
+                              module_deps=("openmpi", "netcdf")))
+        image = env.package("img", ["um"])
+        with pytest.raises(PackagingError, match="sse4"):
+            deploy_check(image, DCC)
+        deploy_check(image, EC2)  # EC2 hosts expose SSE4: fine
+
+    def test_conservative_flags_run_everywhere(self):
+        env = vayu_env()
+        env.build(BuildRecipe("um", "7.8", "intel-fc",
+                              compiler_flags=("-msse3",),
+                              module_deps=("openmpi",)))
+        image = env.package("img", ["um"])
+        for target in (DCC, EC2, VAYU):
+            deploy_check(image, target)
+
+    def test_image_contains_dependency_closure(self):
+        env = vayu_env()
+        env.build(BuildRecipe("um", "7.8", "intel-fc",
+                              module_deps=("openmpi", "netcdf")))
+        image = env.package("img", ["um"])
+        assert image.package_names() == {"intel-fc", "openmpi", "netcdf"}
+        assert image.missing_dependencies() == {}
+
+    def test_packaging_unbuilt_app_rejected(self):
+        with pytest.raises(CloudError):
+            vayu_env().package("img", ["ghost"])
+
+    def test_rsync_time_scales_with_size(self):
+        env = vayu_env()
+        env.build(BuildRecipe("um", "7.8", "intel-fc", module_deps=("openmpi",)))
+        image = env.package("img", ["um"])
+        assert env.rsync_seconds(image, link_bw=100e6) == pytest.approx(
+            image.size_bytes / 100e6
+        )
+
+
+class TestEc2Api:
+    def test_boot_lifecycle(self):
+        api = Ec2Api(seed=1, boot_failure_rate=0.0)
+        insts = api.run_instances(M1_LARGE, 3)
+        assert all(i.state == "pending" for i in insts)
+        api.wait(600)
+        assert all(i.state == "running" for i in insts)
+        api.terminate(i.instance_id for i in insts)
+        assert all(i.state == "terminated" for i in api.describe())
+
+    def test_boot_failures_occur(self):
+        api = Ec2Api(seed=3, boot_failure_rate=0.5)
+        insts = api.run_instances(M1_LARGE, 40)
+        failed = [i for i in insts if i.state == "failed"]
+        assert 5 < len(failed) < 35
+
+    def test_placement_group_restrictions(self):
+        api = Ec2Api(seed=1)
+        api.create_placement_group("pg")
+        with pytest.raises(CloudError):
+            api.run_instances(M1_LARGE, 1, placement_group="pg")
+        with pytest.raises(CloudError):
+            api.run_instances(CC1_4XLARGE, 1, placement_group="nope")
+        api.run_instances(CC1_4XLARGE, 1, placement_group="pg")
+
+    def test_spot_needs_sufficient_bid(self):
+        api = Ec2Api(seed=1)
+        price = api.spot_market.current_price(CC1_4XLARGE, 0.0)
+        with pytest.raises(CloudError):
+            api.run_instances(CC1_4XLARGE, 1, spot=True, spot_bid=price / 2)
+        api.run_instances(CC1_4XLARGE, 1, spot=True, spot_bid=price * 2)
+
+    def test_billing_rounds_up_to_hours(self):
+        api = Ec2Api(seed=1, boot_failure_rate=0.0)
+        insts = api.run_instances(CC1_4XLARGE, 2)
+        api.wait(1800)  # half an hour
+        api.terminate(i.instance_id for i in insts)
+        assert api.billed_usd() == pytest.approx(2 * CC1_4XLARGE.hourly_usd)
+
+    def test_failed_instances_not_billed(self):
+        api = Ec2Api(seed=3, boot_failure_rate=1.0)
+        api.run_instances(M1_LARGE, 3)
+        api.wait(3600)
+        assert api.billed_usd() == 0.0
+
+
+class TestSpotMarket:
+    def test_prices_positive_and_below_anchor_mostly(self):
+        market = SpotMarket(seed=4)
+        hist = market.price_history(CC1_4XLARGE, 86400)
+        prices = [p for _, p in hist]
+        assert min(prices) > 0
+        assert sum(p < CC1_4XLARGE.hourly_usd for p in prices) > len(prices) * 0.7
+
+    def test_deterministic_and_consistent(self):
+        a = SpotMarket(seed=7).current_price(CC1_4XLARGE, 7200)
+        b = SpotMarket(seed=7).current_price(CC1_4XLARGE, 7200)
+        assert a == b
+        market = SpotMarket(seed=7)
+        later = market.current_price(CC1_4XLARGE, 7200)
+        earlier = market.current_price(CC1_4XLARGE, 3600)  # backwards query
+        assert later == a and earlier > 0
+
+    def test_would_outbid(self):
+        market = SpotMarket(seed=7)
+        assert market.would_outbid(CC1_4XLARGE, 100.0, 0.0, 7200)
+        assert not market.would_outbid(CC1_4XLARGE, 0.0001, 0.0, 7200)
+
+    def test_job_cost(self):
+        book = PriceBook()
+        assert book.job_cost(CC1_4XLARGE, 4, 2.5) == pytest.approx(
+            4 * 3 * CC1_4XLARGE.hourly_usd
+        )
+
+
+class TestStarCluster:
+    def test_start_retries_boot_failures(self):
+        api = Ec2Api(seed=5, boot_failure_rate=0.3)
+        sc = StarCluster(api)
+        cluster = sc.start(ClusterTemplate("c", size=4))
+        assert cluster.size == 4
+        assert cluster.platform.num_nodes == 4
+        assert cluster.launch_seconds > 0
+
+    def test_persistent_failures_give_up(self):
+        api = Ec2Api(seed=5, boot_failure_rate=1.0)
+        sc = StarCluster(api)
+        with pytest.raises(CloudError, match="failing to boot"):
+            sc.start(ClusterTemplate("c", size=2, max_boot_retries=2))
+
+    def test_duplicate_cluster_rejected(self):
+        api = Ec2Api(seed=5, boot_failure_rate=0.0)
+        sc = StarCluster(api)
+        sc.start(ClusterTemplate("c", size=1))
+        with pytest.raises(CloudError):
+            sc.start(ClusterTemplate("c", size=1))
+
+    def test_terminate_releases_instances(self):
+        api = Ec2Api(seed=5, boot_failure_rate=0.0)
+        sc = StarCluster(api)
+        cluster = sc.start(ClusterTemplate("c", size=2))
+        sc.terminate("c")
+        states = {api.instances[i].state for i in cluster.instance_ids()}
+        assert states == {"terminated"}
+
+    def test_run_workload_uses_cluster_platform(self):
+        from repro.npb import get_benchmark
+
+        api = Ec2Api(seed=5, boot_failure_rate=0.0)
+        sc = StarCluster(api)
+        sc.start(ClusterTemplate("c", size=2))
+        result = sc.run_workload("c", get_benchmark("ep"), 16, seed=1)
+        assert result.platform == "EC2"
+        assert api.now > result.projected_time  # billed time advanced
+
+    def test_image_isa_check_at_launch(self):
+        env = vayu_env()
+        env.build(BuildRecipe("um", "7.8", "intel-fc", compiler_flags=("-msse3",),
+                              module_deps=("openmpi",)))
+        image = env.package("img", ["um"])
+        api = Ec2Api(seed=5, boot_failure_rate=0.0)
+        cluster = StarCluster(api).start(
+            ClusterTemplate("c", size=1, image=image)
+        )
+        assert cluster.template.image is image

@@ -1,0 +1,52 @@
+"""Smoke tests running the example scripts end to end (subprocess).
+
+Only the fast examples run in the unit suite; the two application
+studies (climate/cardiac) take a minute each and are exercised by the
+benchmark harness instead.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 120.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        for platform in ("Vayu", "DCC", "EC2"):
+            assert platform in out
+        assert "comm%" in out
+
+    def test_package_hpc_env(self):
+        out = run_example("package_hpc_env.py")
+        assert "REFUSED" in out          # the SSE4 incident
+        assert "deploy to EC2: OK" in out
+        assert "portability goal" in out
+
+    def test_cloudburst_demo(self):
+        out = run_example("cloudburst_demo.py")
+        assert "bursting" in out
+        assert "without bursting" in out
+        assert "$" in out
+
+    def test_all_examples_exist_and_documented(self):
+        scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 6
+        for script in scripts:
+            head = (EXAMPLES / script).read_text().split('"""')[1]
+            assert len(head.strip()) > 40, f"{script} lacks a real docstring"

@@ -1,0 +1,224 @@
+"""Unit tests for CPU, fabric, node, topology and storage models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import (
+    BandwidthCurve,
+    ClusterTopology,
+    CoreSpec,
+    CpuSpec,
+    EthernetFabric,
+    FabricSpec,
+    InfinibandFabric,
+    LUSTRE_VAYU,
+    NFS_DCC,
+    Node,
+    NodeSpec,
+    SharedMemoryFabric,
+    SocketSpec,
+)
+from repro.hardware.storage import FilesystemSpec
+from repro.sim import Engine
+
+
+def _cpu(smt_enabled=False, smt_yield=1.25):
+    core = CoreSpec(clock_hz=2.93e9, flops_per_cycle=1.0)
+    socket = SocketSpec(cores=4, core=core, l2_cache_bytes=8 << 20, mem_bw=16e9)
+    return CpuSpec(model="test", sockets=2, socket=socket, smt=2,
+                   smt_enabled=smt_enabled, smt_yield=smt_yield)
+
+
+class TestCpuSpec:
+    def test_core_flop_rate(self):
+        core = CoreSpec(clock_hz=2e9, flops_per_cycle=2.0)
+        assert core.flop_rate == pytest.approx(4e9)
+
+    def test_invalid_core_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreSpec(clock_hz=-1)
+
+    def test_physical_vs_schedulable(self):
+        assert _cpu(False).schedulable_slots == 8
+        assert _cpu(True).schedulable_slots == 16
+
+    def test_throughput_full_core_below_capacity(self):
+        cpu = _cpu(True)
+        for r in (1, 4, 8):
+            assert cpu.core_throughput_factor(r) == pytest.approx(1.0)
+
+    def test_smt_throughput_at_full_subscription(self):
+        cpu = _cpu(True, smt_yield=1.25)
+        # 16 ranks on 8 cores: node throughput 8*1.25 => per-rank 0.625.
+        assert cpu.core_throughput_factor(16) == pytest.approx(0.625)
+
+    def test_smt_interpolation_monotone_decreasing(self):
+        cpu = _cpu(True)
+        factors = [cpu.core_throughput_factor(r) for r in range(8, 17)]
+        assert all(a >= b for a, b in zip(factors, factors[1:]))
+
+    def test_timesharing_beyond_slots(self):
+        cpu = _cpu(False)
+        # 16 ranks on 8 physical cores without SMT: everyone halves.
+        assert cpu.core_throughput_factor(16) == pytest.approx(0.5)
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ConfigError):
+            _cpu().core_throughput_factor(0)
+
+    def test_invalid_smt_yield(self):
+        with pytest.raises(ConfigError):
+            _cpu(smt_yield=3.0)
+
+
+class TestBandwidthCurve:
+    def test_half_power_point(self):
+        c = BandwidthCurve(peak=1e9, n_half=4096)
+        assert c.at(4096) == pytest.approx(0.5e9)
+
+    def test_monotone_without_decline(self):
+        c = BandwidthCurve(peak=1e9, n_half=4096)
+        sizes = [2**k for k in range(4, 24)]
+        vals = [c.at(n) for n in sizes]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def test_decline_reduces_large_messages(self):
+        plain = BandwidthCurve(peak=1e9, n_half=1024)
+        drop = BandwidthCurve(peak=1e9, n_half=1024, decline=0.3)
+        assert drop.at(16 << 20) < plain.at(16 << 20)
+        assert drop.at(16 << 20) > 0.69e9  # bounded by (1 - decline)
+
+    def test_zero_size_returns_peak(self):
+        c = BandwidthCurve(peak=1e9)
+        assert c.at(0) == 1e9
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            BandwidthCurve(peak=0)
+        with pytest.raises(ConfigError):
+            BandwidthCurve(peak=1e9, decline=1.0)
+
+
+class TestFabricSpec:
+    def test_oneway_time_components(self):
+        f = FabricSpec("t", latency=10e-6, bw=BandwidthCurve(peak=1e9, n_half=1),
+                       o_send=1e-6, o_recv=2e-6)
+        n = 1_000_000
+        expected = 1e-6 + 10e-6 + n / f.bw.at(n) + 2e-6
+        assert f.oneway_time(n) == pytest.approx(expected)
+
+    def test_rendezvous_threshold(self):
+        f = InfinibandFabric()
+        assert not f.uses_rendezvous(12 * 1024)
+        assert f.uses_rendezvous(12 * 1024 + 1)
+
+    def test_factories_produce_distinct_regimes(self):
+        ib = InfinibandFabric()
+        eth = EthernetFabric("gige", latency=25e-6, peak_bw=196e6)
+        shm = SharedMemoryFabric()
+        assert ib.oneway_time(1) < eth.oneway_time(1)
+        assert shm.oneway_time(1) < ib.oneway_time(8192)
+        assert ib.bw.peak > eth.bw.peak
+
+    def test_zero_bytes_serialize_free(self):
+        assert InfinibandFabric().serialize_time(0) == 0.0
+
+
+class TestNodePlacement:
+    def _node(self):
+        eng = Engine()
+        return Node(eng, NodeSpec(name="n", cpu=_cpu(), dram_bytes=24 << 30), 0)
+
+    def test_least_loaded_socket_round_robin(self):
+        node = self._node()
+        sockets = [node.place_rank(r) for r in range(4)]
+        assert sockets == [0, 1, 0, 1]
+        assert node.socket_load == [2, 2]
+
+    def test_spans_sockets(self):
+        node = self._node()
+        node.place_rank(0, socket=0)
+        assert not node.spans_sockets()
+        node.place_rank(1, socket=1)
+        assert node.spans_sockets()
+
+    def test_explicit_socket_out_of_range(self):
+        node = self._node()
+        with pytest.raises(ConfigError):
+            node.place_rank(0, socket=5)
+
+
+class TestTopology:
+    def _topology(self, nranks_per_node=2, nnodes=2):
+        eng = Engine()
+        spec = NodeSpec(name="n", cpu=_cpu(), dram_bytes=24 << 30)
+        nodes = [Node(eng, spec, i) for i in range(nnodes)]
+        topo = ClusterTopology(nodes, InfinibandFabric(), SharedMemoryFabric())
+        rank = 0
+        for node in nodes:
+            for _ in range(nranks_per_node):
+                node.place_rank(rank)
+                topo.register(rank, node)
+                rank += 1
+        return topo
+
+    def test_same_node_detection(self):
+        topo = self._topology()
+        assert topo.same_node(0, 1)
+        assert not topo.same_node(0, 2)
+
+    def test_fabric_selection(self):
+        topo = self._topology()
+        assert topo.fabric_between(0, 1) is topo.shm
+        assert topo.fabric_between(0, 3) is topo.fabric
+
+    def test_cross_socket_detection(self):
+        topo = self._topology()
+        # ranks 0,1 placed round-robin onto sockets 0,1 of node 0.
+        assert topo.cross_socket(0, 1)
+        assert not topo.cross_socket(0, 2)  # different nodes
+
+    def test_aggregate_queries(self):
+        topo = self._topology(nranks_per_node=3, nnodes=2)
+        ranks = list(range(6))
+        assert topo.occupied_nodes(ranks) == 2
+        assert topo.max_ranks_per_node(ranks) == 3
+        assert topo.occupied_nodes([0, 1]) == 1
+
+    def test_double_register_rejected(self):
+        topo = self._topology()
+        with pytest.raises(ConfigError):
+            topo.register(0, topo.nodes[1])
+
+    def test_unplaced_rank_rejected(self):
+        topo = self._topology()
+        with pytest.raises(ConfigError):
+            topo.node_of(99)
+
+
+class TestFilesystem:
+    def test_lustre_matches_paper_io_time(self):
+        # MetUM 1.6 GB dump read: 4.5 s on Vayu (Table III).
+        t = LUSTRE_VAYU.read_time(1.6e9, concurrent_clients=1)
+        assert t == pytest.approx(4.5, rel=0.1)
+
+    def test_nfs_dcc_matches_paper_io_time(self):
+        # 37.8 s on DCC (Table III).
+        t = NFS_DCC.read_time(1.6e9, concurrent_clients=1)
+        assert t == pytest.approx(37.8, rel=0.1)
+
+    def test_aggregate_bandwidth_shared(self):
+        fs = FilesystemSpec(name="t", client_bw=100e6, aggregate_bw=200e6)
+        solo = fs.read_time(1e9, 1)
+        crowded = fs.read_time(1e9, 8)
+        assert crowded > solo
+        assert crowded == pytest.approx(2e-3 + 1e9 / 25e6)
+
+    def test_write_penalty(self):
+        fs = FilesystemSpec(name="t", client_bw=100e6, aggregate_bw=1e9,
+                            write_penalty=3.0)
+        assert fs.write_time(1e9) > fs.read_time(1e9) * 2.5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            NFS_DCC.read_time(-1)

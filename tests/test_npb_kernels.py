@@ -1,0 +1,201 @@
+"""Tests for the NPB numeric kernels and distributed validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, VerificationError
+from repro.npb.kernels import (
+    NpbRandom,
+    cg_kernel,
+    ep_kernel,
+    ft_kernel,
+    is_kernel,
+    make_spd_matrix,
+    mg_kernel,
+)
+from repro.npb.kernels.distributed import distributed_cg, distributed_ep
+from repro.npb.kernels.ep_kernel import combine
+from repro.npb.kernels.randnpb import A, MOD
+from repro.npb.verification import VerificationRecord
+from repro.platforms import DCC, VAYU
+
+
+class TestNpbRandom:
+    def test_bit_exact_vs_scalar_reference(self):
+        x = 314159265
+        ref = []
+        for _ in range(300):
+            x = (x * A) % MOD
+            ref.append(x * 2.0**-46)
+        assert NpbRandom(314159265).randlc(300).tolist() == ref
+
+    def test_skip_equals_drawing(self):
+        a = NpbRandom(314159265)
+        a.randlc(777)
+        b = NpbRandom(314159265)
+        b.skip(777)
+        assert a.state == b.state
+
+    def test_jumped_constructor(self):
+        direct = NpbRandom(271828183)
+        direct.randlc(100)
+        jumped = NpbRandom.jumped(271828183, 100)
+        assert direct.state == jumped.state
+
+    def test_deviates_in_unit_interval(self):
+        vals = NpbRandom().randlc(10_000)
+        assert vals.min() > 0.0 and vals.max() < 1.0
+        assert abs(vals.mean() - 0.5) < 0.02
+
+    def test_block_boundary_continuity(self):
+        """Streams must be identical regardless of block chunking."""
+        one = NpbRandom(314159265).randlc(3 * 16384 + 7)
+        rng = NpbRandom(314159265)
+        parts = np.concatenate([rng.randlc(16384), rng.randlc(16384 + 7),
+                                rng.randlc(16384)])
+        assert np.array_equal(one, parts)
+
+    def test_invalid_seed(self):
+        with pytest.raises(ConfigError):
+            NpbRandom(2)  # even
+        with pytest.raises(ConfigError):
+            NpbRandom(0)
+
+
+class TestEpKernel:
+    def test_acceptance_rate_is_pi_over_4(self):
+        result = ep_kernel(18)
+        assert result.verify().passed
+        assert result.acceptance_rate == pytest.approx(np.pi / 4, rel=5e-3)
+
+    def test_partitioned_equals_serial(self):
+        serial = ep_kernel(16)
+        parts = [ep_kernel(16, rank=r, nprocs=5) for r in range(5)]
+        merged = combine(parts, 1 << 16)
+        assert merged.accepted == serial.accepted
+        assert merged.q == serial.q
+        assert merged.sx == pytest.approx(serial.sx, abs=1e-9)
+
+    def test_histogram_counts_sum_to_accepted(self):
+        result = ep_kernel(16)
+        assert sum(result.q) == result.accepted
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            ep_kernel(2)
+        with pytest.raises(ConfigError):
+            ep_kernel(16, rank=4, nprocs=4)
+
+
+class TestCgKernel:
+    def test_zeta_converges_to_shift_plus_lambda_min(self):
+        result = cg_kernel(n=600, nonzer=6, niter=12, shift=10.0, lam_min=0.1)
+        assert result.verify().passed
+        assert result.zeta == pytest.approx(10.1, abs=1e-3)
+
+    def test_matrix_is_symmetric_and_spd(self):
+        a = make_spd_matrix(300, 5, lam_min=0.2)
+        dense = a.toarray()
+        assert np.allclose(dense, dense.T)
+        eigs = np.linalg.eigvalsh(dense)
+        assert eigs.min() == pytest.approx(0.2, rel=1e-6)
+
+    def test_zeta_history_converges_monotonically_late(self):
+        result = cg_kernel(n=600, nonzer=6, niter=12)
+        tail = np.abs(np.diff(result.zeta_history[-4:]))
+        assert tail.max() < 1e-6
+
+    def test_invalid_matrix_params(self):
+        with pytest.raises(ConfigError):
+            make_spd_matrix(2, 1)
+
+
+class TestFtKernel:
+    def test_energy_follows_analytic_decay(self):
+        result = ft_kernel((32, 32, 32), niter=5)
+        assert result.verify().passed
+        assert result.energy_final == pytest.approx(result.energy_expected, rel=1e-12)
+
+    def test_energy_decays(self):
+        result = ft_kernel((16, 16, 16), niter=4)
+        assert result.energy_final < result.energy_initial
+
+    def test_checksums_recorded_per_step(self):
+        result = ft_kernel((16, 16, 16), niter=6)
+        assert len(result.checksums) == 6
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            ft_kernel((1, 16, 16), 3)
+
+
+class TestIsKernel:
+    def test_ranks_form_sorted_permutation(self):
+        result = is_kernel(14, 11)
+        assert result.verify().passed
+
+    def test_bucket_counts_cover_all_keys(self):
+        result = is_kernel(14, 11)
+        assert result.bucket_counts.sum() == result.keys.size
+
+    def test_key_distribution_is_triangular_ish(self):
+        keys = is_kernel(15, 11).keys
+        # The 4-deviate average concentrates around max_key/2.
+        mid = (1 << 11) / 2
+        assert abs(keys.mean() - mid) < mid * 0.05
+        assert keys.min() >= 0 and keys.max() < (1 << 11)
+
+
+class TestMgKernel:
+    def test_vcycle_contracts_residual(self):
+        result = mg_kernel(32, cycles=4)
+        assert result.verify().passed
+        assert result.residuals[-1] < result.residuals[0] * 0.05
+
+    def test_rejects_non_power_grid(self):
+        with pytest.raises(ConfigError):
+            mg_kernel(24)
+
+    def test_contraction_factors_shape(self):
+        result = mg_kernel(16, cycles=3)
+        assert len(result.contraction_factors) == 3
+
+
+class TestVerificationRecord:
+    def test_passes_within_tolerance(self):
+        rec = VerificationRecord("x", "S", "q", 1.0005, 1.0, 1e-3)
+        assert rec.passed and rec.check() is rec
+
+    def test_fails_outside_tolerance(self):
+        rec = VerificationRecord("x", "S", "q", 1.1, 1.0, 1e-3)
+        with pytest.raises(VerificationError):
+            rec.check()
+
+    def test_zero_reference_absolute(self):
+        assert VerificationRecord("x", "S", "q", 0.05, 0.0, 0.1).passed
+        assert not VerificationRecord("x", "S", "q", 0.2, 0.0, 0.1).passed
+
+
+class TestDistributedValidation:
+    def test_distributed_ep_matches_serial(self):
+        serial = ep_kernel(14)
+        out = distributed_ep(VAYU, 4, 14)
+        assert out.value.q == serial.q
+        assert out.value.sx == pytest.approx(serial.sx, abs=1e-9)
+        assert out.wall_time > 0
+
+    def test_distributed_cg_matches_serial(self):
+        serial = cg_kernel(n=400, nonzer=5, niter=6)
+        out = distributed_cg(VAYU, 4, n=400, nonzer=5, niter=6)
+        assert out.value == pytest.approx(serial.zeta_history[5], rel=1e-9)
+
+    def test_distributed_cg_platform_independent_answer(self):
+        """The virtual platform changes time, never arithmetic."""
+        a = distributed_cg(VAYU, 4, n=400, nonzer=5, niter=4)
+        b = distributed_cg(DCC, 4, n=400, nonzer=5, niter=4)
+        assert a.value == pytest.approx(b.value, rel=1e-12)
+        assert b.wall_time > a.wall_time  # but DCC is slower
+
+    def test_distributed_ep_guards_scale(self):
+        with pytest.raises(ConfigError):
+            distributed_ep(VAYU, 4, m=30)

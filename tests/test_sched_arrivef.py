@@ -1,0 +1,234 @@
+"""Tests for the batch scheduler, cloudburst policy and ARRIVE-F."""
+
+import pytest
+
+from repro.arrivef import (
+    ArriveF,
+    FarmJob,
+    MigrationModel,
+    OnlineProfile,
+    PlatformPredictor,
+    profile_from_monitor,
+)
+from repro.arrivef.framework import throughput_experiment
+from repro.cloud.pricing import SpotMarket
+from repro.errors import ConfigError, SchedulerError
+from repro.platforms import DCC, EC2, VAYU
+from repro.sched import (
+    AnupbsScheduler,
+    CloudBurstPolicy,
+    Job,
+    JobProfile,
+    JobState,
+)
+
+
+def make_job(job_id, cores=8, runtime=1000.0, submit=0.0, priority=0, **profile):
+    return Job(job_id, "user", cores, runtime, submit, priority=priority,
+               profile=JobProfile(**profile))
+
+
+class TestAnupbsScheduler:
+    def test_fifo_on_saturated_machine(self):
+        sched = AnupbsScheduler(8)
+        a, b = make_job(1, cores=8), make_job(2, cores=8)
+        sched.submit(a)
+        sched.submit(b)
+        sched.run_until_drained()
+        assert a.start_time == 0.0
+        assert b.start_time == pytest.approx(1000.0)
+        assert sched.metrics().jobs_completed == 2
+
+    def test_parallel_when_capacity_allows(self):
+        sched = AnupbsScheduler(16)
+        a, b = make_job(1), make_job(2)
+        sched.submit(a)
+        sched.submit(b)
+        sched.run_until_drained()
+        assert a.start_time == b.start_time == 0.0
+
+    def test_suspend_resume_preemption(self):
+        sched = AnupbsScheduler(8)
+        low = make_job(1, cores=8, runtime=1000.0)
+        high = make_job(2, cores=8, runtime=100.0, submit=10.0, priority=5)
+        sched.submit(low)
+        sched.submit(high)
+        sched.run_until_drained()
+        assert high.start_time == pytest.approx(10.0)  # preempted low
+        assert low.suspend_count == 1
+        assert low.finish_time == pytest.approx(1100.0)  # paused 10..110
+
+    def test_no_preemption_when_disabled(self):
+        sched = AnupbsScheduler(8, suspend_resume=False)
+        low = make_job(1, cores=8, runtime=1000.0)
+        high = make_job(2, cores=8, runtime=100.0, submit=10.0, priority=5)
+        sched.submit(low)
+        sched.submit(high)
+        sched.run_until_drained()
+        assert high.start_time == pytest.approx(1000.0)
+        assert low.suspend_count == 0
+
+    def test_oversized_job_rejected_at_submit(self):
+        sched = AnupbsScheduler(8)
+        with pytest.raises(SchedulerError):
+            sched.submit(make_job(1, cores=16))
+
+    def test_utilisation_accounting(self):
+        sched = AnupbsScheduler(10)
+        sched.submit(make_job(1, cores=5, runtime=100.0))
+        sched.run_until_drained()
+        assert sched.metrics().utilisation == pytest.approx(0.5)
+
+    def test_past_submission_rejected(self):
+        sched = AnupbsScheduler(8)
+        sched.submit(make_job(1, submit=100.0))
+        with pytest.raises(SchedulerError):
+            sched.submit(make_job(2, submit=50.0))
+
+    def test_metrics_require_completions(self):
+        with pytest.raises(SchedulerError):
+            AnupbsScheduler(8).metrics()
+
+
+class TestCloudBurstPolicy:
+    def _saturated(self):
+        sched = AnupbsScheduler(8)
+        sched.submit(make_job(1, cores=8, runtime=50000.0))
+        return sched
+
+    def test_short_queue_stays_local(self):
+        sched = AnupbsScheduler(64)
+        job = make_job(2, cores=8)
+        sched.submit(job)
+        # job started instantly; queued_wait estimate is 0 for a fresh one
+        waiting = make_job(3, cores=64, submit=0.0)
+        sched.submit(waiting)
+        policy = CloudBurstPolicy(wait_threshold=1e9)
+        decision = policy.evaluate(sched, waiting)
+        assert not decision.burst
+        assert "acceptable" in decision.reason
+
+    def test_comm_bound_jobs_refused(self):
+        sched = self._saturated()
+        job = make_job(2, comm_fraction=0.6)
+        sched.submit(job)
+        decision = CloudBurstPolicy(wait_threshold=1.0).evaluate(sched, job)
+        assert not decision.burst and "communication-bound" in decision.reason
+
+    def test_latency_sensitive_jobs_refused(self):
+        sched = self._saturated()
+        job = make_job(2, comm_fraction=0.2, msg_small_fraction=0.9)
+        sched.submit(job)
+        decision = CloudBurstPolicy(wait_threshold=1.0).evaluate(sched, job)
+        assert not decision.burst and "latency-sensitive" in decision.reason
+
+    def test_suitable_job_bursts_with_cost(self):
+        sched = self._saturated()
+        job = make_job(2, cores=8, runtime=7200.0, comm_fraction=0.05)
+        sched.submit(job)
+        policy = CloudBurstPolicy(wait_threshold=1.0)
+        decision = policy.evaluate(sched, job)
+        assert decision.burst
+        assert decision.predicted_cost_usd > 0
+        assert policy.nodes_for(make_job(9, cores=32)) == 2
+
+    def test_apply_removes_from_queue(self):
+        sched = self._saturated()
+        job = make_job(2, cores=8, runtime=7200.0, comm_fraction=0.05)
+        sched.submit(job)
+        decisions = CloudBurstPolicy(wait_threshold=1.0).apply(sched, [job])
+        assert decisions[0].burst
+        assert job.state is JobState.BURSTED
+        assert job not in sched.queue
+
+    def test_spot_used_when_cheap(self):
+        sched = self._saturated()
+        job = make_job(2, cores=8, runtime=7200.0, comm_fraction=0.05)
+        sched.submit(job)
+        market = SpotMarket(seed=4, anchor_fraction=0.2, volatility=0.0)
+        policy = CloudBurstPolicy(wait_threshold=1.0, spot_market=market)
+        decision = policy.evaluate(sched, job)
+        assert decision.burst and decision.use_spot
+
+
+class TestPredictor:
+    def test_compute_bound_tracks_clock_ratio(self):
+        profile = OnlineProfile(comm_fraction=0.0, small_msg_fraction=0.0,
+                                mem_boundedness=0.0, mean_msg_bytes=0.0)
+        predictor = PlatformPredictor(VAYU)
+        slowdown = predictor.slowdown(profile, DCC)
+        clock_ratio = (2.93e9 * 1.10) / (2.27e9 * 1.00)
+        assert slowdown == pytest.approx(clock_ratio, rel=0.01)
+
+    def test_latency_bound_penalised_on_clouds(self):
+        profile = OnlineProfile(comm_fraction=0.6, small_msg_fraction=1.0,
+                                mem_boundedness=0.2, mean_msg_bytes=8.0)
+        predictor = PlatformPredictor(VAYU)
+        assert predictor.slowdown(profile, DCC) > 10.0
+
+    def test_best_platform_selection(self):
+        predictor = PlatformPredictor(VAYU)
+        comm_heavy = OnlineProfile(comm_fraction=0.5, small_msg_fraction=0.9,
+                                   mem_boundedness=0.3, mean_msg_bytes=8.0)
+        best, _ = predictor.best_platform(comm_heavy, [DCC, VAYU, EC2])
+        assert best.name == "Vayu"
+
+    def test_prediction_scales_reference_runtime(self):
+        profile = OnlineProfile(comm_fraction=0.1, small_msg_fraction=0.5,
+                                mem_boundedness=0.3, mean_msg_bytes=1024.0)
+        predictor = PlatformPredictor(VAYU)
+        assert predictor.predict(profile, 100.0, DCC) == pytest.approx(
+            100.0 * predictor.slowdown(profile, DCC)
+        )
+
+    def test_profile_from_monitor(self):
+        from repro.npb import get_benchmark
+
+        r = get_benchmark("cg").run(DCC, 8, seed=1)
+        profile = profile_from_monitor(r.monitor, "steady", mem_boundedness=0.8)
+        assert 0.0 < profile.comm_fraction < 1.0
+        assert profile.mean_msg_bytes > 0
+
+
+class TestMigration:
+    def test_total_exceeds_single_copy(self):
+        model = MigrationModel()
+        mem = 8e9
+        assert model.total_seconds(mem) > mem / model.link_bw
+
+    def test_downtime_much_smaller_than_total(self):
+        model = MigrationModel()
+        assert model.downtime_seconds(8e9) < 0.05 * model.total_seconds(8e9)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            MigrationModel(dirty_rate=1.5)
+
+
+class TestArriveF:
+    def _profile(self, comm=0.1, small=0.5):
+        return OnlineProfile(comm_fraction=comm, small_msg_fraction=small,
+                             mem_boundedness=0.3, mean_msg_bytes=1024.0)
+
+    def test_relocation_picks_better_platform(self):
+        farm = ArriveF([(DCC, 32), (VAYU, 32)], reference=VAYU, relocation=True)
+        job = FarmJob(1, 16, 3600.0, 0.0, self._profile(comm=0.5, small=0.9))
+        done = farm.run([job])
+        assert done[0].platform_name == "Vayu"
+
+    def test_naive_takes_first_fit(self):
+        farm = ArriveF([(DCC, 32), (VAYU, 32)], reference=VAYU, relocation=False)
+        job = FarmJob(1, 16, 3600.0, 0.0, self._profile(comm=0.5, small=0.9))
+        done = farm.run([job])
+        assert done[0].platform_name == "DCC"
+
+    def test_throughput_experiment_improves_waits(self):
+        best = max(
+            throughput_experiment(seed=s)["wait_improvement_pct"] for s in range(4)
+        )
+        assert best > 5.0
+
+    def test_all_jobs_finish(self):
+        results = throughput_experiment(n_jobs=30, seed=1)
+        assert results["mean_turnaround_naive"] > 0
+        assert results["mean_turnaround_arrivef"] > 0

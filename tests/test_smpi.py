@@ -1,0 +1,425 @@
+"""Integration tests for the simulated MPI runtime."""
+
+import pytest
+
+from repro.errors import ConfigError, MpiError
+from repro.platforms import DCC, EC2, VAYU
+from repro.smpi import ANY_SOURCE, MpiWorld, Placement, run_program
+from repro.smpi.mapping import place_ranks
+from repro.platforms.base import Platform
+from repro.sim import Engine
+
+
+def two_node_placement():
+    return Placement(num_nodes=2, ranks_per_node=1)
+
+
+class TestPlacement:
+    def test_block_fills_nodes_in_order(self):
+        eng = Engine()
+        plat = Platform(VAYU, eng)
+        place_ranks(plat, 12, Placement(strategy="block"))
+        assert plat.nodes[0].nranks == 8
+        assert plat.nodes[1].nranks == 4
+        assert plat.nodes[2].nranks == 0
+
+    def test_cyclic_deals_round_robin(self):
+        eng = Engine()
+        plat = Platform(EC2, eng)
+        place_ranks(plat, 8, Placement(strategy="cyclic", num_nodes=4))
+        assert [n.nranks for n in plat.nodes] == [2, 2, 2, 2]
+
+    def test_ec2_block_uses_ht_slots(self):
+        eng = Engine()
+        plat = Platform(EC2, eng)
+        place_ranks(plat, 16, Placement(strategy="block"))
+        assert plat.nodes[0].nranks == 16  # one node: 16 HT slots
+
+    def test_capacity_violation_rejected(self):
+        eng = Engine()
+        plat = Platform(DCC, eng)
+        with pytest.raises(ConfigError):
+            place_ranks(plat, 9, Placement(num_nodes=1))
+
+    def test_too_many_nodes_rejected(self):
+        eng = Engine()
+        plat = Platform(EC2, eng)
+        with pytest.raises(ConfigError):
+            place_ranks(plat, 8, Placement(num_nodes=5))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            Placement(strategy="scatter")
+
+
+class TestPointToPoint:
+    def test_payload_delivery(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 64, payload={"k": 1})
+                return None
+            msg = yield from comm.recv(0)
+            return msg.payload
+
+        res = run_program(VAYU, 2, prog)
+        assert res.rank_results[1] == {"k": 1}
+
+    def test_tag_matching(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 8, tag=5, payload="five")
+                yield from comm.send(1, 8, tag=9, payload="nine")
+                return None
+            m9 = yield from comm.recv(0, tag=9)
+            m5 = yield from comm.recv(0, tag=5)
+            return (m9.payload, m5.payload)
+
+        res = run_program(VAYU, 2, prog)
+        assert res.rank_results[1] == ("nine", "five")
+
+    def test_any_source(self):
+        def prog(comm):
+            if comm.rank == 0:
+                got = []
+                for _ in range(2):
+                    msg = yield from comm.recv(ANY_SOURCE)
+                    got.append(msg.source)
+                return sorted(got)
+            yield from comm.compute(flops=comm.rank * 1e6)
+            yield from comm.send(0, 8)
+            return None
+
+        res = run_program(VAYU, 3, prog)
+        assert res.rank_results[0] == [1, 2]
+
+    def test_internode_slower_than_intranode(self):
+        def prog(comm):
+            t0 = comm.wtime()
+            if comm.rank == 0:
+                yield from comm.send(1, 1024)
+            else:
+                yield from comm.recv(0)
+            return comm.wtime() - t0
+
+        near = run_program(VAYU, 2, prog, placement=Placement(num_nodes=1))
+        far = run_program(VAYU, 2, prog, placement=two_node_placement())
+        assert far.rank_results[1] > near.rank_results[1]
+
+    def test_rendezvous_requires_receiver(self):
+        """A large (rendezvous) send cannot complete before the recv posts."""
+        big = VAYU.fabric.eager_threshold * 4
+
+        def prog(comm):
+            if comm.rank == 0:
+                t0 = comm.wtime()
+                yield from comm.send(1, big)
+                return comm.wtime() - t0
+            yield from comm.delay(1.0)  # receiver arrives late
+            yield from comm.recv(0)
+            return None
+
+        res = run_program(VAYU, 2, prog, placement=two_node_placement())
+        assert res.rank_results[0] >= 1.0
+
+    def test_eager_send_completes_without_receiver(self):
+        small = 128
+
+        def prog(comm):
+            if comm.rank == 0:
+                t0 = comm.wtime()
+                yield from comm.send(1, small)
+                dt = comm.wtime() - t0
+                return dt
+            yield from comm.delay(1.0)
+            yield from comm.recv(0)
+            return None
+
+        res = run_program(VAYU, 2, prog, placement=two_node_placement())
+        assert res.rank_results[0] < 0.5
+
+    def test_isend_waitall(self):
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(1, 256, tag=i) for i in range(4)]
+                yield from comm.waitall(reqs)
+                return None
+            msgs = []
+            for i in range(4):
+                msg = yield from comm.recv(0, tag=i)
+                msgs.append(msg.tag)
+            return msgs
+
+        res = run_program(VAYU, 2, prog)
+        assert res.rank_results[1] == [0, 1, 2, 3]
+
+    def test_invalid_rank_rejected(self):
+        def prog(comm):
+            yield from comm.send(5, 8)
+
+        with pytest.raises(MpiError):
+            run_program(VAYU, 2, prog)
+
+    def test_sendrecv_ring(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            msg = yield from comm.sendrecv(right, 32, left, payload=comm.rank)
+            return msg.payload
+
+        res = run_program(VAYU, 4, prog)
+        assert res.rank_results == [3, 0, 1, 2]
+
+    def test_nic_serialisation_contends(self):
+        """Two concurrent large sends from one node share its NIC."""
+        n = 1 << 20
+
+        def prog(comm):
+            t0 = comm.wtime()
+            if comm.rank in (0, 1):
+                yield from comm.send(comm.rank + 2, n)
+            else:
+                yield from comm.recv(comm.rank - 2)
+            return comm.wtime() - t0
+
+        # ranks 0,1 on node0; 2,3 on node1
+        both = run_program(
+            DCC, 4, prog, placement=Placement(num_nodes=2, ranks_per_node=2)
+        )
+        t_contended = max(both.rank_results[2], both.rank_results[3])
+
+        def solo(comm):
+            t0 = comm.wtime()
+            if comm.rank == 0:
+                yield from comm.send(1, n)
+            else:
+                yield from comm.recv(0)
+            return comm.wtime() - t0
+
+        alone = run_program(DCC, 2, solo, placement=two_node_placement())
+        assert t_contended > alone.rank_results[1] * 1.5
+
+
+class TestCollectives:
+    def test_allreduce_value(self):
+        def prog(comm):
+            total = yield from comm.allreduce(8, value=comm.rank + 1)
+            return total
+
+        res = run_program(VAYU, 8, prog)
+        assert all(v == 36 for v in res.rank_results)
+
+    def test_allreduce_custom_op(self):
+        def prog(comm):
+            peak = yield from comm.allreduce(8, value=comm.rank, op=max)
+            return peak
+
+        res = run_program(VAYU, 5, prog)
+        assert all(v == 4 for v in res.rank_results)
+
+    def test_bcast_from_root(self):
+        def prog(comm):
+            v = yield from comm.bcast(1024, root=2, value="hello" if comm.rank == 2 else None)
+            return v
+
+        res = run_program(VAYU, 4, prog)
+        assert res.rank_results == ["hello"] * 4
+
+    def test_reduce_only_root_gets_value(self):
+        def prog(comm):
+            v = yield from comm.reduce(8, root=1, value=1)
+            return v
+
+        res = run_program(VAYU, 4, prog)
+        assert res.rank_results == [None, 4, None, None]
+
+    def test_gather_order(self):
+        def prog(comm):
+            v = yield from comm.gather(8, root=0, value=comm.rank * 2)
+            return v
+
+        res = run_program(VAYU, 4, prog)
+        assert res.rank_results[0] == [0, 2, 4, 6]
+        assert res.rank_results[1] is None
+
+    def test_allgather(self):
+        def prog(comm):
+            v = yield from comm.allgather(8, value=chr(ord("a") + comm.rank))
+            return "".join(v)
+
+        res = run_program(VAYU, 3, prog)
+        assert res.rank_results == ["abc"] * 3
+
+    def test_scatter(self):
+        def prog(comm):
+            vals = [10, 20, 30, 40] if comm.rank == 0 else None
+            v = yield from comm.scatter(8, root=0, values=vals)
+            return v
+
+        res = run_program(VAYU, 4, prog)
+        assert res.rank_results == [10, 20, 30, 40]
+
+    def test_alltoall_transpose(self):
+        def prog(comm):
+            vals = [f"{comm.rank}->{d}" for d in range(comm.size)]
+            got = yield from comm.alltoall(1024, values=vals)
+            return got
+
+        res = run_program(VAYU, 3, prog)
+        assert res.rank_results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_barrier_synchronises(self):
+        def prog(comm):
+            yield from comm.compute(flops=comm.rank * 1e7)
+            yield from comm.barrier()
+            return comm.wtime()
+
+        res = run_program(VAYU, 4, prog)
+        times = res.rank_results
+        assert max(times) - min(times) < 1e-9
+
+    def test_collective_charges_wait_to_stragglers(self):
+        """Ranks arriving early at a collective accumulate MPI wait time."""
+
+        def prog(comm):
+            if comm.rank == comm.size - 1:
+                yield from comm.compute(flops=5e8)  # straggler
+            yield from comm.barrier()
+            return None
+
+        res = run_program(VAYU, 4, prog)
+        mon = res.monitor
+        early = mon[0].total.mpi_time
+        late = mon[3].total.mpi_time
+        assert early > late
+        assert early > 0.01  # waited for the straggler's ~170ms of compute
+
+    def test_mismatched_collective_deadlocks(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.barrier()
+            # other ranks never join
+            return None
+
+        from repro.errors import DeadlockError
+
+        with pytest.raises(DeadlockError):
+            run_program(VAYU, 2, prog)
+
+
+class TestCommSplit:
+    def test_split_into_halves(self):
+        def prog(comm):
+            color = comm.rank // 2
+            sub = yield from comm.split(color)
+            total = yield from sub.allreduce(8, value=comm.rank)
+            return (sub.size, sub.rank, total)
+
+        res = run_program(VAYU, 4, prog)
+        assert res.rank_results[0] == (2, 0, 1)   # ranks 0+1
+        assert res.rank_results[3] == (2, 1, 5)   # ranks 2+3
+
+    def test_split_key_reorders(self):
+        def prog(comm):
+            sub = yield from comm.split(0, key=-comm.rank)
+            return sub.rank
+
+        res = run_program(VAYU, 3, prog)
+        assert res.rank_results == [2, 1, 0]
+
+    def test_split_groups_have_distinct_ids(self):
+        def prog(comm):
+            sub = yield from comm.split(comm.rank % 2)
+            return sub.comm_id
+
+        res = run_program(VAYU, 4, prog)
+        ids = set(res.rank_results)
+        assert len(ids) == 2
+
+    def test_nested_collectives_on_subcomm(self):
+        def prog(comm):
+            sub = yield from comm.split(comm.rank % 2)
+            v = yield from sub.allgather(8, value=comm.rank)
+            return v
+
+        res = run_program(VAYU, 6, prog)
+        assert res.rank_results[0] == [0, 2, 4]
+        assert res.rank_results[1] == [1, 3, 5]
+
+
+class TestIpmIntegration:
+    def test_region_accounting(self):
+        def prog(comm):
+            with comm.region("solve"):
+                yield from comm.compute(flops=1e8)
+                yield from comm.allreduce(4, value=1.0)
+            with comm.region("io"):
+                yield from comm.io_read(1e6)
+            return None
+
+        res = run_program(VAYU, 4, prog)
+        mon = res.monitor
+        assert "solve" in mon.region_names() and "io" in mon.region_names()
+        solve = mon[0].regions["solve"]
+        assert solve.compute_time > 0
+        assert solve.mpi_time >= 0
+        io = mon[0].regions["io"]
+        assert io.io_time > 0 and io.compute_time == 0
+
+    def test_ksp_style_call_histogram(self):
+        """All-reduce message sizes are recorded, enabling the paper's
+        'entirely 4-byte all-reduces' style of statement."""
+
+        def prog(comm):
+            with comm.region("KSp"):
+                for _ in range(10):
+                    yield from comm.allreduce(4, value=0.5)
+            return None
+
+        res = run_program(VAYU, 4, prog)
+        ksp = res.monitor[0].regions["KSp"]
+        sizes = ksp.call_sizes("MPI_Allreduce")
+        assert set(sizes) == {4}
+        assert sizes[4].count == 10
+
+    def test_comm_percent_increases_with_latency(self):
+        def prog(comm):
+            for _ in range(20):
+                yield from comm.compute(flops=1e6)
+                yield from comm.allreduce(8, value=1)
+            return None
+
+        pl = Placement(ranks_per_node=4)
+        fast = run_program(VAYU, 8, prog, placement=pl)
+        slow = run_program(DCC, 8, prog, placement=pl)
+        assert slow.report().comm_percent > fast.report().comm_percent
+
+    def test_wall_time_positive_and_reported(self):
+        def prog(comm):
+            yield from comm.compute(flops=1e6)
+            return None
+
+        res = run_program(VAYU, 2, prog)
+        assert res.wall_time > 0
+        assert res.report().wall_time == pytest.approx(res.wall_time, rel=1e-6)
+
+
+class TestRepeats:
+    def test_reps_take_min(self):
+        def prog(comm):
+            yield from comm.compute(flops=1e8, mem_bytes=1e6)
+            yield from comm.barrier()
+            return None
+
+        one = run_program(EC2, 4, prog, reps=1, seed=11)
+        best = run_program(EC2, 4, prog, reps=4, seed=11)
+        assert best.wall_time <= one.wall_time + 1e-12
+
+    def test_same_seed_reproducible(self):
+        def prog(comm):
+            yield from comm.compute(flops=1e8, mem_bytes=1e7)
+            yield from comm.allreduce(8, value=1)
+            return None
+
+        a = run_program(DCC, 8, prog, seed=3)
+        b = run_program(DCC, 8, prog, seed=3)
+        assert a.wall_time == b.wall_time

@@ -1,0 +1,123 @@
+"""Tests for the timeline tracer and the custom-platform builder."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ipm.timeline import Interval, Timeline
+from repro.npb import get_benchmark
+from repro.platforms import VAYU
+from repro.platforms.builder import make_platform
+from repro.smpi import MpiWorld, run_program
+
+
+def traced_world(nprocs=4):
+    def prog(comm):
+        yield from comm.compute(flops=1e7)
+        yield from comm.allreduce(8, value=1.0)
+        if comm.rank == 0:
+            yield from comm.io_read(1e5, concurrent=1)
+        return None
+
+    world = MpiWorld(VAYU, nprocs, timeline=True, seed=1)
+    world.launch(prog)
+    return world
+
+
+class TestTimeline:
+    def test_disabled_by_default(self):
+        def prog(comm):
+            yield from comm.compute(flops=1e6)
+            return None
+
+        assert run_program(VAYU, 2, prog).world.timeline is None
+
+    def test_records_all_kinds(self):
+        tl = traced_world().timeline
+        kinds = {iv.kind for rank in tl.ranks for iv in rank}
+        assert kinds == {"compute", "mpi", "io"}
+
+    def test_intervals_sorted_and_bounded(self):
+        tl = traced_world().timeline
+        lo, hi = tl.span()
+        for rank in tl.ranks:
+            starts = [iv.start for iv in rank]
+            assert starts == sorted(starts)
+            for iv in rank:
+                assert lo <= iv.start <= iv.end <= hi
+
+    def test_busy_fraction_in_unit_interval(self):
+        tl = traced_world().timeline
+        for rank in range(4):
+            assert 0.0 <= tl.busy_fraction(rank, "compute") <= 1.0
+
+    def test_ascii_render_row_per_rank(self):
+        text = traced_world().timeline.render_ascii(width=40)
+        assert text.count("|") == 2 * 4  # two bars per rank row
+
+    def test_json_roundtrip(self, tmp_path):
+        tl = traced_world().timeline
+        path = tmp_path / "tl.json"
+        tl.write_json(path)
+        data = json.loads(path.read_text())
+        assert data["nprocs"] == 4
+        assert data["ranks"][0][0]["kind"] in ("compute", "mpi", "io")
+
+    def test_validation(self):
+        tl = Timeline(2)
+        with pytest.raises(ConfigError):
+            tl.record(0, 1.0, 0.5, "compute", "x")
+        with pytest.raises(ConfigError):
+            tl.record(0, 0.0, 1.0, "sleep", "x")
+        with pytest.raises(ConfigError):
+            Timeline(0)
+
+    def test_interval_duration(self):
+        assert Interval(1.0, 3.5, "mpi", "x").duration == pytest.approx(2.5)
+
+    def test_empty_timeline_renders(self):
+        assert "(empty timeline)" in Timeline(2).render_ascii()
+
+
+class TestPlatformBuilder:
+    def test_counterfactual_vayu_with_gige_is_slower(self):
+        """The builder supports the what-if the paper implies: Vayu-class
+        nodes on commodity Ethernet lose their scaling edge."""
+        gige_vayu = make_platform(
+            "vayu-gige", num_nodes=16, clock_ghz=2.93, flops_per_cycle=1.10,
+            mem_bw_gbs=16.0, fabric="gige", hypervisor="none",
+            filesystem="lustre",
+        )
+        bench = get_benchmark("is")
+        real = bench.run(VAYU, 32, seed=1).projected_time
+        downgraded = bench.run(gige_vayu, 32, seed=1).projected_time
+        assert downgraded > 2 * real
+
+    def test_defaults_give_runnable_platform(self):
+        spec = make_platform("lab", num_nodes=4, clock_ghz=2.5)
+        r = get_benchmark("ep").run(spec, 16, seed=1)
+        assert r.projected_time > 0
+
+    def test_hypervisor_presets_set_numa_semantics(self):
+        virt = make_platform("cloudy", num_nodes=4, clock_ghz=2.5,
+                             hypervisor="esx")
+        bare = make_platform("metal", num_nodes=4, clock_ghz=2.5,
+                             hypervisor="none")
+        assert not virt.numa_affinity_enforced
+        assert bare.numa_affinity_enforced
+        assert virt.numa_burst_noise > 0 == bare.numa_burst_noise
+
+    def test_unknown_presets_rejected(self):
+        with pytest.raises(ConfigError):
+            make_platform("x", num_nodes=2, clock_ghz=2.0, fabric="myrinet")
+        with pytest.raises(ConfigError):
+            make_platform("x", num_nodes=2, clock_ghz=2.0, hypervisor="kvm")
+        with pytest.raises(ConfigError):
+            make_platform("x", num_nodes=0, clock_ghz=2.0)
+
+    def test_table1_row_renders(self):
+        spec = make_platform("lab", num_nodes=4, clock_ghz=2.5, dram_gb=48)
+        row = spec.table1_row()
+        assert row["Memory per node"] == "48GB"
+        assert row["Clock Spd"] == "2.50GHz"
