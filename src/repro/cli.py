@@ -8,7 +8,8 @@ Commands
     List the registered paper experiments.
 ``run <ids...>``
     Regenerate experiments (``all`` for everything); ``--full`` runs the
-    complete sweeps, ``--json``/``--csv``/``--out`` export results.
+    complete sweeps, ``--jobs N`` fans sweep cells over N processes,
+    ``--json``/``--csv``/``--out`` export results.
 ``osu <platform>``
     Run the OSU latency + bandwidth pair on one platform.
 ``npb <bench> <platform> <nprocs>``
@@ -46,7 +47,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
     batch = run_batch(
-        ids, quick=not args.full, seed=args.seed,
+        ids, quick=not args.full, seed=args.seed, jobs=args.jobs,
         progress=lambda eid: print(f"[running] {eid}", file=sys.stderr),
     )
     print(batch.render())
@@ -115,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
     run.add_argument("--full", action="store_true", help="full sweeps (slower)")
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep cells (0 = all CPUs); output is "
+             "identical to --jobs 1",
+    )
     run.add_argument("--json", help="export comparisons as JSON")
     run.add_argument("--csv", help="export comparisons as CSV")
     run.add_argument("--out", help="write the text report to a file")

@@ -7,6 +7,11 @@ paper-vs-measured comparison points.
 
 ``quick=True`` trims sweep sizes for test/bench budgets without changing
 what is measured; ``quick=False`` runs the full grids.
+
+Sweep-style experiments decompose into independent simulation *cells*
+(see :mod:`repro.harness.parallel`) keyed by config point; ``jobs > 1``
+fans the cells over a process pool with results merged in cell order, so
+parallel and serial runs are byte-identical.
 """
 
 from __future__ import annotations
@@ -14,7 +19,6 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from repro.apps.chaste import ChasteBenchmark
 from repro.apps.metum import MetumBenchmark
 from repro.core.analysis import SectionStats, render_stats_table
 from repro.errors import ConfigError
@@ -24,9 +28,8 @@ from repro.harness.figures import (
     render_series_table,
     render_speedup_plot,
 )
+from repro.harness.parallel import Cell, run_cells
 from repro.ipm.report import fig7_breakdown, render_fig7_ascii
-from repro.npb import get_benchmark
-from repro.osu import osu_bandwidth, osu_latency
 from repro.platforms import DCC, EC2, VAYU, platform_table
 
 
@@ -60,7 +63,7 @@ class ExperimentOutput:
 _PLATFORMS = (DCC, EC2, VAYU)
 
 
-def exp_tab1(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+def exp_tab1(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
     """Table I: the experimental platforms."""
     text = platform_table()
     return ExperimentOutput("tab1", "Experimental platforms", {"table": text}, text)
@@ -72,14 +75,17 @@ def _osu_sizes(quick: bool) -> list[int]:
     return [2**k for k in range(0, 23)]
 
 
-def exp_fig1(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+def exp_fig1(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
     """Fig 1: OSU bandwidth on the three platforms."""
     sizes = _osu_sizes(quick)
     iters = 4 if quick else 20
-    series = {
-        spec.name: osu_bandwidth(spec, sizes, iterations=iters, warmup=1, seed=seed)
+    cells = [
+        Cell((spec.name,), "osu_curve",
+             ("bandwidth", spec.name, tuple(sizes), iters, 1, seed))
         for spec in _PLATFORMS
-    }
+    ]
+    curves = run_cells(cells, jobs=jobs)
+    series = {spec.name: curves[(spec.name,)] for spec in _PLATFORMS}
     rows = {n: [series[s.name][n] / 1e6 for s in _PLATFORMS] for n in sizes}
     text = render_series_table(
         "OSU bandwidth (MB/s)", [s.name for s in _PLATFORMS], rows, "{:.1f}",
@@ -102,14 +108,17 @@ def exp_fig1(quick: bool = True, seed: int = 0) -> ExperimentOutput:
     return ExperimentOutput("fig1", "OSU MPI bandwidth", {"series": series}, text, comparisons)
 
 
-def exp_fig2(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+def exp_fig2(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
     """Fig 2: OSU latency on the three platforms."""
     sizes = _osu_sizes(quick)
     iters = 20 if quick else 100
-    series = {
-        spec.name: osu_latency(spec, sizes, iterations=iters, warmup=2, seed=seed)
+    cells = [
+        Cell((spec.name,), "osu_curve",
+             ("latency", spec.name, tuple(sizes), iters, 2, seed))
         for spec in _PLATFORMS
-    }
+    ]
+    curves = run_cells(cells, jobs=jobs)
+    series = {spec.name: curves[(spec.name,)] for spec in _PLATFORMS}
     rows = {n: [series[s.name][n] * 1e6 for s in _PLATFORMS] for n in sizes}
     text = render_series_table(
         "OSU latency (us)", [s.name for s in _PLATFORMS], rows, "{:.2f}",
@@ -138,15 +147,20 @@ def exp_fig2(quick: bool = True, seed: int = 0) -> ExperimentOutput:
     )
 
 
-def exp_fig3(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+def exp_fig3(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
     """Fig 3: single-process NPB times, normalised to DCC."""
     benches = ("bt", "ep", "cg", "ft", "is", "lu", "mg", "sp")
+    cells = [
+        Cell((name, spec.name), "npb_point", (name, spec.name, 1, seed))
+        for name in benches
+        for spec in _PLATFORMS
+    ]
+    points = run_cells(cells, jobs=jobs)
     data: dict[str, dict[str, float]] = {}
     comparisons = []
     for name in benches:
-        bench = get_benchmark(name)
         times = {
-            spec.name: bench.run(spec, 1, seed=seed).projected_time
+            spec.name: points[(name, spec.name)]["projected_time"]
             for spec in _PLATFORMS
         }
         data[name] = times
@@ -178,19 +192,27 @@ def _npb_counts(name: str, quick: bool) -> list[int]:
     return [1, 8, 64] if quick else [1, 2, 4, 8, 16, 32, 64]
 
 
-def exp_fig4(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+def exp_fig4(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
     """Fig 4: NPB speedup curves on the three platforms."""
     benches = ("cg", "ep", "is") if quick else (
         "bt", "ep", "cg", "ft", "is", "lu", "mg", "sp"
     )
+    cells = [
+        Cell((name, spec.name, p), "npb_point", (name, spec.name, p, seed))
+        for name in benches
+        for spec in _PLATFORMS
+        for p in _npb_counts(name, quick)
+    ]
+    points = run_cells(cells, jobs=jobs)
     plots = []
     data: dict[str, dict[str, dict[int, float]]] = {}
     for name in benches:
         counts = _npb_counts(name, quick)
         series: dict[str, dict[int, float]] = {}
         for spec in _PLATFORMS:
-            bench = get_benchmark(name)
-            times = {p: bench.run(spec, p, seed=seed).projected_time for p in counts}
+            times = {
+                p: points[(name, spec.name, p)]["projected_time"] for p in counts
+            }
             base = times[counts[0]]
             series[spec.name] = {p: base / t for p, t in times.items()}
         data[name] = series
@@ -200,9 +222,16 @@ def exp_fig4(quick: bool = True, seed: int = 0) -> ExperimentOutput:
     )
 
 
-def exp_tab2(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+def exp_tab2(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
     """Table II: IPM percentage communication for CG, FT and IS."""
     counts = [2, 8, 64] if quick else [2, 4, 8, 16, 32, 64]
+    cells = [
+        Cell((name, spec.name, p), "npb_point", (name, spec.name, p, seed))
+        for name in ("cg", "ft", "is")
+        for p in counts
+        for spec in _PLATFORMS
+    ]
+    points = run_cells(cells, jobs=jobs)
     blocks = []
     comparisons = []
     data: dict[str, dict[int, tuple[float, float, float]]] = {}
@@ -210,10 +239,9 @@ def exp_tab2(quick: bool = True, seed: int = 0) -> ExperimentOutput:
         rows = {}
         data[name] = {}
         for p in counts:
-            vals = []
-            for spec in _PLATFORMS:
-                r = get_benchmark(name).run(spec, p, seed=seed)
-                vals.append(r.comm_percent)
+            vals = [
+                points[(name, spec.name, p)]["comm_percent"] for spec in _PLATFORMS
+            ]
             data[name][p] = tuple(vals)  # type: ignore[assignment]
             rows[p] = vals
             ref = paper.TABLE2_COMM_PERCENT[name][p]
@@ -233,18 +261,21 @@ def exp_tab2(quick: bool = True, seed: int = 0) -> ExperimentOutput:
     )
 
 
-def exp_fig5(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+def exp_fig5(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
     """Fig 5: Chaste total and KSp speedups on Vayu and DCC."""
     counts = [8, 32, 64] if quick else [8, 16, 32, 48, 64]
-    bench = ChasteBenchmark(sim_steps=2 if quick else 3)
+    sim_steps = 2 if quick else 3
+    cells = [
+        Cell((spec.name, p), "chaste_point", (spec.name, p, seed, sim_steps))
+        for spec in (VAYU, DCC)
+        for p in counts
+    ]
+    points = run_cells(cells, jobs=jobs)
     series: dict[str, dict[int, float]] = {}
     t8: dict[str, float] = {}
     for spec in (VAYU, DCC):
-        totals, ksps = {}, {}
-        for p in counts:
-            r = bench.run(spec, p, seed=seed)
-            totals[p] = r.total_time
-            ksps[p] = r.ksp_time
+        totals = {p: points[(spec.name, p)]["total_time"] for p in counts}
+        ksps = {p: points[(spec.name, p)]["ksp_time"] for p in counts}
         t8[f"{spec.name.lower()}_total"] = totals[8]
         t8[f"{spec.name.lower()}_ksp"] = ksps[8]
         series[f"{spec.name} total"] = {p: totals[8] / t for p, t in totals.items()}
@@ -267,19 +298,27 @@ def _um_variants() -> list[tuple[str, _t.Any, int | None]]:
             ("EC2-4", EC2, 4)]
 
 
-def exp_fig6(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+def exp_fig6(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
     """Fig 6: UM 'warmed' speedups on Vayu, DCC, EC2 and EC2-4."""
     counts = [8, 32, 64] if quick else [8, 16, 32, 48, 64]
-    bench = MetumBenchmark(sim_steps=2 if quick else 3)
+    sim_steps = 2 if quick else 3
+
+    def _nodes(label: str, nodes: int | None, p: int) -> int | None:
+        if label == "EC2" and nodes is None:
+            return max(2, -(-p // 16))
+        return nodes
+
+    cells = [
+        Cell((label, p), "metum_point",
+             (spec.name, p, _nodes(label, nodes, p), seed, sim_steps))
+        for label, spec, nodes in _um_variants()
+        for p in counts
+    ]
+    points = run_cells(cells, jobs=jobs)
     series: dict[str, dict[int, float]] = {}
     t8: dict[str, float] = {}
     for label, spec, nodes in _um_variants():
-        times = {}
-        for p in counts:
-            nn = nodes
-            if label == "EC2" and nodes is None:
-                nn = max(2, -(-p // 16))
-            times[p] = bench.run(spec, p, num_nodes=nn, seed=seed).warmed_time
+        times = {p: points[(label, p)]["warmed_time"] for p in counts}
         t8[label] = times[8]
         series[label] = {p: times[8] / t for p, t in times.items()}
     text = render_speedup_plot("UM warmed-time speedup over 8 cores", series)
@@ -293,7 +332,7 @@ def exp_fig6(quick: bool = True, seed: int = 0) -> ExperimentOutput:
     )
 
 
-def exp_tab3(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+def exp_tab3(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
     """Table III: UM statistics at 32 cores."""
     bench = MetumBenchmark(sim_steps=2 if quick else 3)
     results = {}
@@ -330,7 +369,7 @@ def exp_tab3(quick: bool = True, seed: int = 0) -> ExperimentOutput:
     )
 
 
-def exp_fig7(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+def exp_fig7(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
     """Fig 7: per-process ATM_STEP breakdown on Vayu and DCC."""
     bench = MetumBenchmark(sim_steps=2 if quick else 3)
     sections = []
@@ -365,17 +404,13 @@ def exp_fig7(quick: bool = True, seed: int = 0) -> ExperimentOutput:
     )
 
 
-def exp_arrivef(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+def exp_arrivef(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
     """ARRIVE-F throughput experiment (section II)."""
-    from repro.arrivef.framework import throughput_experiment
-
     seeds = range(4) if quick else range(12)
-    best = 0.0
-    runs = []
-    for s in seeds:
-        r = throughput_experiment(seed=seed + s)
-        runs.append(r)
-        best = max(best, r["wait_improvement_pct"])
+    cells = [Cell((s,), "arrivef_point", (seed + s,)) for s in seeds]
+    points = run_cells(cells, jobs=jobs)
+    runs = [points[(s,)] for s in seeds]
+    best = max(r["wait_improvement_pct"] for r in runs)
     mean_impr = sum(r["wait_improvement_pct"] for r in runs) / len(runs)
     text = (
         f"ARRIVE-F relocation on a DCC+Vayu farm over {len(runs)} workloads:\n"
@@ -407,12 +442,19 @@ EXPERIMENTS: dict[str, _t.Callable[..., ExperimentOutput]] = {
 }
 
 
-def run_experiment(experiment_id: str, quick: bool = True, seed: int = 0) -> ExperimentOutput:
-    """Run one registered experiment by id."""
+def run_experiment(
+    experiment_id: str, quick: bool = True, seed: int = 0, jobs: int = 1
+) -> ExperimentOutput:
+    """Run one registered experiment by id.
+
+    ``jobs > 1`` fans the experiment's independent sweep cells over a
+    process pool; results are merged deterministically, so the output is
+    byte-identical to a ``jobs=1`` run at the same seed.
+    """
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(quick=quick, seed=seed)
+    return fn(quick=quick, seed=seed, jobs=jobs)

@@ -1,0 +1,179 @@
+"""Deterministic parallel execution of independent simulation cells.
+
+A *cell* is one independent unit of a sweep — one ``(experiment,
+config-point, seed)`` simulation such as "CG class B on Vayu at 16
+processes with seed 1".  Every simulation builds its own engine from an
+explicit seed and touches no shared state, so cells can run in any
+process in any order; determinism then only requires that results are
+**merged by cell key, never by completion order**, which
+:func:`run_cells` guarantees.  ``jobs=1`` executes the very same worker
+functions inline, so serial and parallel sweeps render byte-identical
+reports.
+
+Workers are plain module-level functions (registered with
+:func:`cell_worker`) taking only picklable primitives and returning
+plain dicts/floats — the contract that keeps cells cheap to ship to a
+``ProcessPoolExecutor`` and trivially deterministic to merge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import typing as _t
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Cell:
+    """One independent simulation unit of a sweep.
+
+    ``key`` is the stable merge identity (a tuple of primitives, unique
+    within one :func:`run_cells` call); ``worker`` names a registered
+    worker function; ``args`` are its positional arguments.
+    """
+
+    key: tuple
+    worker: str
+    args: tuple = ()
+
+
+#: Registered worker functions, by name.
+_WORKERS: dict[str, _t.Callable[..., _t.Any]] = {}
+
+
+def cell_worker(name: str) -> _t.Callable[[_t.Callable], _t.Callable]:
+    """Register a module-level function as a named cell worker."""
+
+    def deco(fn: _t.Callable) -> _t.Callable:
+        if name in _WORKERS:
+            raise ConfigError(f"cell worker {name!r} already registered")
+        _WORKERS[name] = fn
+        return fn
+
+    return deco
+
+
+def _execute(cell: Cell) -> _t.Any:
+    """Run one cell (in this process or a pool worker)."""
+    try:
+        fn = _WORKERS[cell.worker]
+    except KeyError:
+        raise ConfigError(
+            f"unknown cell worker {cell.worker!r}; available: {sorted(_WORKERS)}"
+        ) from None
+    return fn(*cell.args)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value (``None``/``0`` → all CPUs)."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_cells(cells: _t.Sequence[Cell], jobs: int = 1) -> dict[tuple, _t.Any]:
+    """Execute ``cells`` and return ``{cell.key: result}`` in cell order.
+
+    With ``jobs > 1`` the cells fan out over a process pool; the result
+    mapping is always assembled in the order the cells were given, so
+    downstream rendering is independent of scheduling.  A failing cell
+    re-raises its exception here, whichever process it ran in.
+    """
+    cells = list(cells)
+    keys = [c.key for c in cells]
+    if len(set(keys)) != len(keys):
+        seen: set[tuple] = set()
+        dupes: list[tuple] = []
+        for k in keys:
+            if k in seen and k not in dupes:
+                dupes.append(k)
+            seen.add(k)
+        raise ConfigError(f"duplicate cell keys: {dupes}")
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(cells) <= 1:
+        return {c.key: _execute(c) for c in cells}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        futures = [pool.submit(_execute, c) for c in cells]
+        return {c.key: f.result() for c, f in zip(cells, futures)}
+
+
+# ---------------------------------------------------------------------------
+# Workers for the registered experiments' sweeps
+# ---------------------------------------------------------------------------
+# Each returns only the scalars the experiment renders, keeping the
+# pickled payload small (an IpmMonitor for a 64-rank run is far heavier
+# than the three numbers a speedup curve needs).
+
+
+@cell_worker("npb_point")
+def npb_point(
+    bench: str, platform: str, nprocs: int, seed: int, klass: str = "B"
+) -> dict[str, float]:
+    """One NPB benchmark point: projected time and steady %comm."""
+    from repro.npb import get_benchmark
+    from repro.platforms import get_platform
+
+    r = get_benchmark(bench, klass=klass).run(get_platform(platform), nprocs, seed=seed)
+    return {
+        "projected_time": r.projected_time,
+        "per_iter_time": r.per_iter_time,
+        "comm_percent": r.comm_percent,
+    }
+
+
+@cell_worker("osu_curve")
+def osu_curve(
+    kind: str, platform: str, sizes: tuple, iterations: int, warmup: int, seed: int
+) -> dict[int, float]:
+    """One OSU sweep (``kind``: latency|bandwidth) on one platform."""
+    from repro.osu import osu_bandwidth, osu_latency
+    from repro.platforms import get_platform
+
+    fns = {"latency": osu_latency, "bandwidth": osu_bandwidth}
+    try:
+        fn = fns[kind]
+    except KeyError:
+        raise ConfigError(f"unknown OSU kind {kind!r}; expected {sorted(fns)}") from None
+    return fn(
+        get_platform(platform), list(sizes), iterations=iterations, warmup=warmup,
+        seed=seed,
+    )
+
+
+@cell_worker("chaste_point")
+def chaste_point(
+    platform: str, nprocs: int, seed: int, sim_steps: int
+) -> dict[str, float]:
+    """One Chaste run: total and KSp-section times."""
+    from repro.apps.chaste import ChasteBenchmark
+    from repro.platforms import get_platform
+
+    r = ChasteBenchmark(sim_steps=sim_steps).run(
+        get_platform(platform), nprocs, seed=seed
+    )
+    return {"total_time": r.total_time, "ksp_time": r.ksp_time}
+
+
+@cell_worker("metum_point")
+def metum_point(
+    platform: str, nprocs: int, num_nodes: int | None, seed: int, sim_steps: int
+) -> dict[str, float]:
+    """One UM run: the 'warmed' (I/O-free steady) time."""
+    from repro.apps.metum import MetumBenchmark
+    from repro.platforms import get_platform
+
+    r = MetumBenchmark(sim_steps=sim_steps).run(
+        get_platform(platform), nprocs, num_nodes=num_nodes, seed=seed
+    )
+    return {"warmed_time": r.warmed_time, "total_time": r.total_time}
+
+
+@cell_worker("arrivef_point")
+def arrivef_point(seed: int) -> dict[str, float]:
+    """One ARRIVE-F workload comparison at one seed."""
+    from repro.arrivef.framework import throughput_experiment
+
+    return throughput_experiment(seed=seed)

@@ -69,9 +69,15 @@ def run_batch(
     *,
     quick: bool = True,
     seed: int = 0,
+    jobs: int = 1,
     progress: _t.Callable[[str], None] | None = None,
 ) -> BatchResult:
-    """Run ``experiment_ids`` (default: every registered experiment)."""
+    """Run ``experiment_ids`` (default: every registered experiment).
+
+    ``jobs > 1`` parallelises each experiment's independent sweep cells
+    over a process pool; results are merged by cell key, so the batch
+    renders byte-identically to a serial run at the same seed.
+    """
     ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
@@ -80,5 +86,5 @@ def run_batch(
     for eid in ids:
         if progress is not None:
             progress(eid)
-        outputs[eid] = run_experiment(eid, quick=quick, seed=seed)
+        outputs[eid] = run_experiment(eid, quick=quick, seed=seed, jobs=jobs)
     return BatchResult(outputs)

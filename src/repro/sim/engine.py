@@ -4,6 +4,16 @@ The engine owns a binary heap of ``(time, sequence, event)`` entries.
 Determinism is guaranteed by the monotonically increasing sequence number,
 which breaks ties between events scheduled for the same instant in
 scheduling order.
+
+Hot-path notes
+--------------
+``run`` is the single hottest function of every sweep, so each of its
+branches inlines the dispatch loop with bound locals (``heap``, ``pop``)
+instead of calling :meth:`step` per event, hoists the tracer check out of
+the loop, and drains same-timestamp batches without re-storing the clock.
+Numeric process sleeps (the dominant event class in the MPI skeletons) go
+through a free list of :class:`_Sleep` wake-up tokens rather than
+allocating a fresh :class:`Timeout` per ``yield`` — see :meth:`_sleep`.
 """
 
 from __future__ import annotations
@@ -15,6 +25,32 @@ from repro.errors import DeadlockError, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
+
+
+class _Sleep:
+    """A pooled wake-up token for plain delays (engine-internal).
+
+    Unlike an :class:`Event` it has exactly one callback, carries no
+    value, and returns itself to the engine's free list as soon as it is
+    dispatched, so a million-sleep run allocates a handful of tokens.
+    Only the engine may schedule these; user code never sees them.
+    """
+
+    __slots__ = ("engine", "callback")
+
+    #: Label used when a tracer records the dispatch.
+    name = "sleep"
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callback: _t.Callable[[], None] | None = None
+
+    def _dispatch(self) -> None:
+        cb = self.callback
+        self.callback = None
+        self.engine._sleep_pool.append(self)
+        if cb is not None:
+            cb()
 
 
 class Engine:
@@ -42,6 +78,8 @@ class Engine:
         self._blocked: int = 0
         #: Total events dispatched (exposed for performance accounting).
         self.dispatched: int = 0
+        #: Free list of recycled :class:`_Sleep` tokens.
+        self._sleep_pool: list[_Sleep] = []
 
     # -- factories -------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -74,6 +112,20 @@ class Engine:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
+    def _sleep(self, delay: float, callback: _t.Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` using a pooled wake-up token.
+
+        The fast path behind numeric process yields: no :class:`Timeout`
+        allocation, no callback-list churn, no value plumbing.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past ({delay!r})")
+        pool = self._sleep_pool
+        token = pool.pop() if pool else _Sleep(self)
+        token.callback = callback
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, token))
+
     def call_at(self, when: float, fn: _t.Callable[[], None]) -> Event:
         """Run ``fn()`` at absolute simulated time ``when`` (>= now)."""
         if when < self.now:
@@ -90,8 +142,6 @@ class Engine:
         if not self._heap:
             raise SimulationError("step() on an empty event queue")
         when, _seq, event = heapq.heappop(self._heap)
-        if when < self.now:  # pragma: no cover - internal invariant
-            raise SimulationError("event queue time went backwards")
         self.now = when
         self.dispatched += 1
         if self.tracer is not None:
@@ -112,22 +162,67 @@ class Engine:
         * an :class:`Event` — run until that event fires, returning its
           value (and re-raising its failure).
         """
+        heap = self._heap
+        pop = heapq.heappop
         if isinstance(until, Event):
             target = until
-            while not (target.triggered and target.callbacks is None):
-                if not self._heap:
-                    raise DeadlockError(self._blocked)
-                self.step()
+            if self.tracer is not None:
+                while target.callbacks is not None:
+                    if not heap:
+                        raise DeadlockError(self._blocked)
+                    self.step()
+                return target.value
+            # An event's callback list becomes None exactly once, when it
+            # is dispatched — so this single check replaces the
+            # (triggered and dispatched) pair per iteration.
+            n = 0
+            try:
+                while target.callbacks is not None:
+                    if not heap:
+                        raise DeadlockError(self._blocked)
+                    when, _seq, event = pop(heap)
+                    self.now = when
+                    n += 1
+                    event._dispatch()
+            finally:
+                self.dispatched += n
             return target.value
         if until is None:
-            while self._heap:
-                self.step()
+            if self.tracer is not None:
+                while heap:
+                    self.step()
+            else:
+                n = 0
+                try:
+                    while heap:
+                        when, _seq, event = pop(heap)
+                        self.now = when
+                        n += 1
+                        event._dispatch()
+                        # Same-timestamp batch: skip the clock store.
+                        while heap and heap[0][0] == when:
+                            _w, _seq, event = pop(heap)
+                            n += 1
+                            event._dispatch()
+                finally:
+                    self.dispatched += n
             if self._blocked:
                 raise DeadlockError(self._blocked)
             return None
         horizon = float(until)
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        if self.tracer is not None:
+            while heap and heap[0][0] <= horizon:
+                self.step()
+        else:
+            n = 0
+            try:
+                while heap and heap[0][0] <= horizon:
+                    when, _seq, event = pop(heap)
+                    self.now = when
+                    n += 1
+                    event._dispatch()
+            finally:
+                self.dispatched += n
         self.now = max(self.now, horizon)
         return None
 

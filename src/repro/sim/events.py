@@ -9,6 +9,7 @@ waiting process as the result of the ``yield`` expression) and may also
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush as _heappush
 
 from repro.errors import SimulationError
 
@@ -64,20 +65,26 @@ class Event:
     # -- triggering -----------------------------------------------------
     def succeed(self, value: _t.Any = None) -> "Event":
         """Trigger the event successfully, waking every waiter."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise SimulationError(f"event {self!r} already triggered")
         self._value = value
-        self.engine._schedule_event(self)
+        # Inlined Engine._schedule_event(self) — succeed() runs once per
+        # event of every simulation, so the call indirection matters.
+        eng = self.engine
+        eng._seq += 1
+        _heappush(eng._heap, (eng.now, eng._seq, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event with an exception, re-raised in waiters."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise SimulationError(f"event {self!r} already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._exc = exc
-        self.engine._schedule_event(self)
+        eng = self.engine
+        eng._seq += 1
+        _heappush(eng._heap, (eng.now, eng._seq, self))
         return self
 
     def add_callback(self, cb: _t.Callable[["Event"], None]) -> None:
@@ -114,19 +121,34 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: _t.Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(engine, name=f"timeout({delay:g})")
-        self.delay = float(delay)
+        # Inlined Event.__init__: timeouts are by far the most-allocated
+        # event type, and formatting a per-instance name here used to
+        # dominate their construction cost.
+        self.engine = engine
+        self.name = "timeout"
+        self.callbacks = []
         self._value = value
-        engine._schedule_event(self, delay=self.delay)
+        self._exc = None
+        self.delay = float(delay)
+        engine._seq += 1
+        _heappush(engine._heap, (engine.now + self.delay, engine._seq, self))
 
     # A Timeout is triggered at construction; waking happens at its due time.
     @property
     def triggered(self) -> bool:
         return True
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout {self.delay:g}>"
+
 
 class _Condition(Event):
-    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events.
+
+    Each constituent's position is captured at registration time, so
+    firing never searches the sequence (and duplicate event objects in
+    the sequence report their own position, not the first occurrence).
+    """
 
     __slots__ = ("events", "_n_fired")
 
@@ -137,10 +159,11 @@ class _Condition(Event):
         if not self.events:
             self.succeed([])
             return
-        for ev in self.events:
-            ev.add_callback(self._on_fire)
+        on_fire = self._on_fire
+        for i, ev in enumerate(self.events):
+            ev.add_callback(lambda e, _i=i: on_fire(e, _i))
 
-    def _on_fire(self, ev: Event) -> None:
+    def _on_fire(self, ev: Event, index: int) -> None:
         raise NotImplementedError
 
 
@@ -153,7 +176,7 @@ class AllOf(_Condition):
 
     __slots__ = ()
 
-    def _on_fire(self, ev: Event) -> None:
+    def _on_fire(self, ev: Event, index: int) -> None:
         if self.triggered:
             return
         if not ev.ok:
@@ -172,10 +195,10 @@ class AnyOf(_Condition):
 
     __slots__ = ()
 
-    def _on_fire(self, ev: Event) -> None:
+    def _on_fire(self, ev: Event, index: int) -> None:
         if self.triggered:
             return
         if not ev.ok:
             self.fail(ev._exc)  # type: ignore[arg-type]
             return
-        self.succeed((self.events.index(ev), ev.value))
+        self.succeed((index, ev.value))

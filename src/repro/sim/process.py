@@ -87,7 +87,12 @@ class Process(Event):
             return
 
         if isinstance(target, (int, float)):
-            target = engine.timeout(target)
+            # Plain sleep: the dominant yield in every skeleton.  A pooled
+            # wake-up token replaces the Timeout allocation, the callback
+            # list, and the blocked-process accounting (a sleeper always
+            # keeps the queue non-empty, so it can never deadlock).
+            engine._sleep(target, self._sleep_wake)
+            return
         if not isinstance(target, Event):
             err = SimulationError(
                 f"process {self.name!r} yielded {target!r}; expected an Event "
@@ -102,6 +107,10 @@ class Process(Event):
     def _resume_unblock(self, event: Event) -> None:
         self.engine._blocked -= 1
         self._resume(event)
+
+    def _sleep_wake(self) -> None:
+        """Wake from a pooled numeric sleep (no value, no failure)."""
+        self._step(None, is_error=False)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else ("waiting" if self._waiting_on else "ready")

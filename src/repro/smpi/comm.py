@@ -245,7 +245,8 @@ class Comm:
     def barrier(self) -> _t.Generator:
         """Synchronise all ranks."""
         yield from self.world.collective(
-            self, "MPI_Barrier", 0, lambda ctx, n: _alg.barrier_time(ctx)
+            self, "MPI_Barrier", 0, lambda ctx, n: _alg.barrier_time(ctx),
+            memo_key="barrier",
         )
         return None
 
@@ -259,7 +260,7 @@ class Comm:
         result = yield from self.world.collective(
             self, "MPI_Bcast", nbytes, _alg.bcast_time,
             contribution=value if self.rank == root else None,
-            finisher=finisher,
+            finisher=finisher, memo_key="bcast",
         )
         return result
 
@@ -278,7 +279,7 @@ class Comm:
 
         result = yield from self.world.collective(
             self, "MPI_Reduce", nbytes, _alg.reduce_time,
-            contribution=value, finisher=finisher,
+            contribution=value, finisher=finisher, memo_key="reduce",
         )
         return result
 
@@ -296,7 +297,7 @@ class Comm:
 
         result = yield from self.world.collective(
             self, "MPI_Allreduce", nbytes, _alg.allreduce_time,
-            contribution=value, finisher=finisher,
+            contribution=value, finisher=finisher, memo_key="allreduce",
         )
         return result
 
@@ -309,7 +310,7 @@ class Comm:
 
         result = yield from self.world.collective(
             self, "MPI_Gather", nbytes, _alg.gather_time,
-            contribution=value, finisher=finisher,
+            contribution=value, finisher=finisher, memo_key="gather",
         )
         return result
 
@@ -322,7 +323,7 @@ class Comm:
 
         result = yield from self.world.collective(
             self, "MPI_Allgather", nbytes, _alg.allgather_time,
-            contribution=value, finisher=finisher,
+            contribution=value, finisher=finisher, memo_key="allgather",
         )
         return result
 
@@ -344,7 +345,7 @@ class Comm:
         result = yield from self.world.collective(
             self, "MPI_Scatter", nbytes, _alg.scatter_time,
             contribution=values if self.rank == root else None,
-            finisher=finisher,
+            finisher=finisher, memo_key="scatter",
         )
         return result
 
@@ -368,7 +369,7 @@ class Comm:
 
         result = yield from self.world.collective(
             self, "MPI_Alltoall", nbytes_total, _alg.alltoall_time,
-            contribution=values, finisher=finisher,
+            contribution=values, finisher=finisher, memo_key="alltoall",
         )
         return result
 
@@ -397,6 +398,7 @@ class Comm:
         result = yield from self.world.collective(
             self, "MPI_Alltoallv", total_send, time_fn,
             contribution=values, finisher=finisher,
+            memo_key=("alltoallv", max_pair),
         )
         return result
 
@@ -410,7 +412,7 @@ class Comm:
         result = yield from self.world.collective(
             self, "MPI_Reduce_scatter", nbytes_total,
             lambda ctx, n: _alg.reduce_scatter_time(ctx, n),
-            contribution=value, finisher=finisher,
+            contribution=value, finisher=finisher, memo_key="reduce_scatter",
         )
         return result
 
@@ -435,7 +437,7 @@ class Comm:
 
         result = yield from self.world.collective(
             self, "MPI_Scan", nbytes, _alg.allreduce_time,
-            contribution=value, finisher=finisher,
+            contribution=value, finisher=finisher, memo_key="allreduce",
         )
         return result
 
@@ -460,7 +462,7 @@ class Comm:
 
         result = yield from self.world.collective(
             self, "MPI_Exscan", nbytes, _alg.allreduce_time,
-            contribution=value, finisher=finisher,
+            contribution=value, finisher=finisher, memo_key="allreduce",
         )
         return result
 
@@ -509,6 +511,7 @@ class Comm:
         name: str,
         nbytes: float,
         time_fn: _t.Callable[[_alg.CollectiveContext, float], float],
+        memo_key: _t.Hashable = None,
     ) -> _t.Generator:
         """A custom synchronising composite operation.
 
@@ -516,9 +519,11 @@ class Comm:
         message-by-message (e.g. LU's pipelined wavefront sweeps, BT/SP's
         ADI line solves) model the phase analytically: all ranks
         synchronise and ``time_fn(ctx, nbytes)`` prices the whole phase.
-        The accounting is identical to a collective's.
+        The accounting is identical to a collective's.  A ``memo_key``
+        that uniquely pins down ``time_fn`` (including every closed-over
+        parameter) opts the phase cost into the collective memo cache.
         """
-        yield from self.world.collective(self, name, nbytes, time_fn)
+        yield from self.world.collective(self, name, nbytes, time_fn, memo_key=memo_key)
         return None
 
     # -- communicator management ---------------------------------------------------------
@@ -549,6 +554,7 @@ class Comm:
         cid, members, pos = yield from self.world.collective(
             self, "MPI_Comm_split", 16, lambda ctx, n: _alg.allgather_time(ctx, 16),
             contribution=(color, sort_key), finisher=finisher,
+            memo_key="comm_split",
         )
         world_group = [self.group[m] for m in members]
         return Comm(self.world, world_group, pos, cid)

@@ -15,6 +15,7 @@ import typing as _t
 from repro.errors import ConfigError, MpiError
 from repro.ipm.monitor import IpmMonitor
 from repro.ipm.report import IpmReport, summarize
+from repro.perf.memo import CollectiveMemo, default_memo
 from repro.platforms.base import Platform, PlatformSpec
 from repro.sim.engine import Engine
 from repro.sim.events import Event
@@ -54,6 +55,10 @@ class MpiWorld:
         Rank placement policy (default: block, minimal nodes).
     seed:
         Engine seed (ignored when an existing platform is passed).
+    memo:
+        Collective-cost cache (default: the process-wide shared cache
+        from :mod:`repro.perf`); pass a disabled
+        :class:`~repro.perf.memo.CollectiveMemo` to opt out.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class MpiWorld:
         placement: Placement | None = None,
         seed: int = 0,
         timeline: bool = False,
+        memo: CollectiveMemo | None = None,
     ) -> None:
         if isinstance(platform, PlatformSpec):
             self.engine = Engine(seed=seed)
@@ -77,6 +83,7 @@ class MpiWorld:
         self.monitor = IpmMonitor(nprocs)
         self.monitor.system_time_share = self.platform.hypervisor.system_time_share
         self.mailboxes = [Store(self.engine, f"mbox{r}") for r in range(nprocs)]
+        self.memo = memo if memo is not None else default_memo()
         self._coll_states: dict[tuple[int, str, int], _CollState] = {}
         self._next_comm_id = 1
         #: Optional per-rank interval trace (memory-heavy; off by default).
@@ -219,6 +226,7 @@ class MpiWorld:
         time_fn: _t.Callable[[CollectiveContext, float], float],
         contribution: _t.Any = None,
         finisher: _t.Callable[[dict[int, _t.Any]], dict[int, _t.Any]] | None = None,
+        memo_key: _t.Hashable = None,
     ) -> _t.Generator:
         """Execute one synchronising collective for the calling rank.
 
@@ -226,6 +234,13 @@ class MpiWorld:
         ``finisher`` maps the {local rank: contribution} dict to a
         {local rank: result} dict once everyone has arrived (identity
         results of ``None`` when omitted).  Returns this rank's result.
+
+        ``memo_key`` opts the cost into the world's
+        :class:`~repro.perf.memo.CollectiveMemo`: it must uniquely
+        identify ``time_fn`` (including anything it closes over) so the
+        cache key ``(memo_key, ctx, nbytes)`` fully determines the cost.
+        Leave it ``None`` for ad-hoc composite phases whose cost depends
+        on state outside the context.
         """
         eng = self.engine
         my_local = comm.rank
@@ -247,7 +262,10 @@ class MpiWorld:
         if len(state.arrivals) == state.expected:
             del self._coll_states[key]
             ctx = self._collective_context(comm)
-            duration = time_fn(ctx, state.nbytes_seen)
+            if memo_key is not None:
+                duration = self.memo.time(memo_key, ctx, state.nbytes_seen, time_fn)
+            else:
+                duration = time_fn(ctx, state.nbytes_seen)
             if duration < 0:
                 raise MpiError(f"negative collective time from {name}: {duration}")
             completion = max(state.arrivals.values()) + duration

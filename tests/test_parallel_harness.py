@@ -1,0 +1,82 @@
+"""Tests for the parallel sweep executor (repro.harness.parallel).
+
+The contract under test is determinism: a ``jobs=4`` run must render —
+and export — byte-for-byte what a ``jobs=1`` run renders at the same
+seed, for every registered experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.parallel import Cell, cell_worker, resolve_jobs, run_cells
+from repro.harness.runner import run_batch
+
+
+# ---------------------------------------------------------------------------
+# run_cells unit behaviour
+# ---------------------------------------------------------------------------
+
+@cell_worker("test_echo")
+def _echo(*args):
+    return args
+
+
+def test_run_cells_merges_in_cell_order():
+    cells = [Cell((k,), "test_echo", (k * 10,)) for k in (3, 1, 2)]
+    out = run_cells(cells, jobs=1)
+    assert list(out) == [(3,), (1,), (2,)], "merge order is cell order, not sorted"
+    assert out[(1,)] == (10,)
+
+
+def test_run_cells_parallel_merge_matches_serial():
+    cells = [Cell((k,), "test_echo", (k,)) for k in range(6)]
+    assert run_cells(cells, jobs=4) == run_cells(cells, jobs=1)
+
+
+def test_run_cells_rejects_duplicate_keys():
+    cells = [Cell((1,), "test_echo"), Cell((1,), "test_echo")]
+    with pytest.raises(ConfigError, match="duplicate cell keys"):
+        run_cells(cells)
+
+
+def test_run_cells_rejects_unknown_worker():
+    with pytest.raises(ConfigError, match="unknown cell worker"):
+        run_cells([Cell((1,), "no_such_worker")])
+
+
+def test_duplicate_worker_registration_rejected():
+    with pytest.raises(ConfigError, match="already registered"):
+        cell_worker("test_echo")(lambda: None)
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+
+
+def test_empty_cell_list():
+    assert run_cells([], jobs=4) == {}
+
+
+# ---------------------------------------------------------------------------
+# Serial/parallel equivalence for every registered experiment
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_parallel_matches_serial(experiment_id, tmp_path):
+    serial = run_batch([experiment_id], quick=True, seed=2, jobs=1)
+    parallel = run_batch([experiment_id], quick=True, seed=2, jobs=4)
+    assert parallel.render() == serial.render()
+
+    exports = {}
+    for label, batch in (("serial", serial), ("parallel", parallel)):
+        j, c, t = (tmp_path / f"{label}.{ext}" for ext in ("json", "csv", "txt"))
+        batch.write_json(j)
+        batch.write_csv(c)
+        batch.write_text(t)
+        exports[label] = (j.read_bytes(), c.read_bytes(), t.read_bytes())
+    assert exports["parallel"] == exports["serial"]
