@@ -1,0 +1,421 @@
+"""Static determinism linter (``repro lint``).
+
+Walks Python sources with the stdlib :mod:`ast` and flags constructs
+that can make a simulation, experiment or parallel sweep
+non-reproducible.  The rules:
+
+========  ==================================================================
+DET001    wall-clock time source (``time.time``/``perf_counter``/
+          ``monotonic``, ``datetime.now``/``utcnow``/``today``) — virtual
+          time must come from the engine (``comm.wtime()``/``engine.now``)
+DET002    unseeded randomness (``random`` module functions, ``random.Random()``
+          with no seed, legacy ``numpy.random.*`` global functions,
+          ``numpy.random.default_rng()`` with no arguments) — randomness
+          must derive from :mod:`repro.sim.rng` or an explicit seed
+DET003    ``id()``-dependent ordering (``key=id`` in ``sorted``/``sort``/
+          ``min``/``max``) — object addresses differ between processes
+DET004    iteration over an unordered ``set`` literal/comprehension/call —
+          string hashing is randomised per process; sort before iterating
+DET005    parallel cell worker that is not picklable-by-construction
+          (``@cell_worker`` on a nested function, or registering a lambda)
+DET006    collective call (``yield from comm.bcast(...)`` etc.) under
+          rank-dependent control flow — a classic MPI deadlock pattern
+========  ==================================================================
+
+Suppress a finding by ending the offending line with a comment of the
+form ``# lint-ok: DET001 <reason>`` (rule list optional: a bare
+``# lint-ok`` suppresses every rule on that line).  The linter never
+imports the code it checks, so it is safe on broken or slow-to-import
+files.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import pathlib
+import re
+import tokenize
+import typing as _t
+
+from repro.errors import ConfigError
+
+#: Rule id -> short description (kept in sync with the module docstring).
+RULES: dict[str, str] = {
+    "DET000": "file does not parse (syntax error)",
+    "DET001": "wall-clock time source in simulation/experiment code",
+    "DET002": "unseeded random-number generation",
+    "DET003": "id()-dependent ordering",
+    "DET004": "iteration over an unordered set",
+    "DET005": "parallel cell worker is not picklable-by-construction",
+    "DET006": "collective call under rank-dependent control flow",
+}
+
+# The collective-method registry lives with the collectives themselves,
+# so rule DET006 stays in sync with the Comm API.
+from repro.smpi.collectives import COLLECTIVE_METHODS
+
+_WALLCLOCK_TIME_FNS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns",
+})
+_WALLCLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+_LEGACY_NP_RANDOM_FNS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "sample",
+    "ranf", "seed", "shuffle", "permutation", "choice", "uniform",
+    "normal", "standard_normal", "exponential", "poisson", "binomial",
+})
+_RANDOM_MODULE_FNS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "getrandbits", "randbytes",
+})
+
+_SUPPRESS_RE = re.compile(
+    r"lint-ok(?:\s*:\s*(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?"
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LintFinding:
+    """One linter hit, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _suppressions(source: str) -> dict[int, set[str] | None]:
+    """``{line: suppressed rule set}``; ``None`` means all rules."""
+    out: dict[int, set[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if not m:
+                continue
+            rules = m.group("rules")
+            out[tok.start[0]] = (
+                {r.strip() for r in rules.split(",")} if rules else None
+            )
+    except tokenize.TokenError:  # pragma: no cover - truncated source
+        pass
+    return out
+
+
+def _dotted(node: ast.AST) -> tuple[str, ...] | None:
+    """``a.b.c`` -> ('a','b','c'); None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _mentions_rank(node: ast.AST) -> bool:
+    """Does the expression read a rank identity (``comm.rank`` etc.)?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in ("rank", "world_rank"):
+            return True
+        if isinstance(sub, ast.Name) and sub.id in ("rank", "world_rank"):
+            return True
+    return False
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Single-file rule engine (aliases are tracked file-wide)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[LintFinding] = []
+        #: Local names bound to the relevant modules/classes.
+        self.time_mods: set[str] = set()
+        self.datetime_mods: set[str] = set()
+        self.datetime_classes: set[str] = set()
+        self.random_mods: set[str] = set()
+        self.numpy_mods: set[str] = set()
+        self.numpy_random_mods: set[str] = set()
+        #: from-imported hazard functions: local name -> rule id.
+        self.hazard_names: dict[str, str] = {}
+        #: from-imported names needing a seed argument (default_rng, Random).
+        self.seed_required: dict[str, str] = {}
+        self._func_depth = 0
+        self._flagged: set[tuple[int, int, str]] = set()
+
+    # -- helpers ----------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        key = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0), rule)
+        if key in self._flagged:
+            return
+        self._flagged.add(key)
+        self.findings.append(LintFinding(
+            path=self.path, line=node.lineno, col=node.col_offset + 1,
+            rule=rule, message=f"{message} [{RULES[rule]}]",
+        ))
+
+    # -- import tracking ---------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self.time_mods.add(local)
+            elif alias.name == "datetime":
+                self.datetime_mods.add(local)
+            elif alias.name == "random":
+                self.random_mods.add(local)
+            elif alias.name == "numpy":
+                self.numpy_mods.add(local)
+            elif alias.name == "numpy.random":
+                self.numpy_random_mods.add(alias.asname or "numpy")
+                if alias.asname is None:
+                    self.numpy_mods.add("numpy")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if node.module == "time" and alias.name in _WALLCLOCK_TIME_FNS:
+                self.hazard_names[local] = "DET001"
+            elif node.module == "datetime" and alias.name == "datetime":
+                self.datetime_classes.add(local)
+            elif node.module == "random":
+                if alias.name in _RANDOM_MODULE_FNS:
+                    self.hazard_names[local] = "DET002"
+                elif alias.name == "Random":
+                    self.seed_required[local] = "DET002"
+            elif node.module == "numpy.random":
+                if alias.name in _LEGACY_NP_RANDOM_FNS:
+                    self.hazard_names[local] = "DET002"
+                elif alias.name == "default_rng":
+                    self.seed_required[local] = "DET002"
+            elif node.module == "numpy" and alias.name == "random":
+                self.numpy_random_mods.add(local)
+        self.generic_visit(node)
+
+    # -- DET001 / DET002 / DET003 ------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call_target(node)
+        self._check_key_id(node)
+        self._check_lambda_worker(node)
+        self.generic_visit(node)
+
+    def _check_call_target(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        unseeded = not node.args and not node.keywords
+        if len(dotted) == 1:
+            name = dotted[0]
+            if name in self.hazard_names:
+                self._flag(node, self.hazard_names[name], f"call to {name}()")
+            elif name in self.seed_required and unseeded:
+                self._flag(node, self.seed_required[name],
+                           f"{name}() called without a seed")
+            return
+        head, rest = dotted[0], dotted[1:]
+        if head in self.time_mods and len(rest) == 1 and rest[0] in _WALLCLOCK_TIME_FNS:
+            self._flag(node, "DET001", f"call to {'.'.join(dotted)}()")
+        elif head in self.datetime_classes and len(rest) == 1 \
+                and rest[0] in _WALLCLOCK_DATETIME_FNS:
+            self._flag(node, "DET001", f"call to {'.'.join(dotted)}()")
+        elif head in self.datetime_mods and len(rest) == 2 \
+                and rest[0] in ("datetime", "date") \
+                and rest[1] in _WALLCLOCK_DATETIME_FNS:
+            self._flag(node, "DET001", f"call to {'.'.join(dotted)}()")
+        elif head in self.random_mods and len(rest) == 1:
+            if rest[0] in _RANDOM_MODULE_FNS:
+                self._flag(node, "DET002",
+                           f"call to the shared global generator {'.'.join(dotted)}()")
+            elif rest[0] == "Random" and unseeded:
+                self._flag(node, "DET002", f"{'.'.join(dotted)}() without a seed")
+        else:
+            # numpy.random.X / np.random.X / npr.X
+            np_random = (
+                (head in self.numpy_mods and len(rest) == 2 and rest[0] == "random")
+                or (head in self.numpy_random_mods and len(rest) == 1)
+            )
+            if np_random:
+                fn = rest[-1]
+                if fn in _LEGACY_NP_RANDOM_FNS:
+                    self._flag(node, "DET002",
+                               f"legacy global numpy RNG call {'.'.join(dotted)}()")
+                elif fn == "default_rng" and unseeded:
+                    self._flag(node, "DET002",
+                               f"{'.'.join(dotted)}() without a seed")
+
+    def _check_key_id(self, node: ast.Call) -> None:
+        for kw in node.keywords:
+            if kw.arg != "key":
+                continue
+            v = kw.value
+            is_id = isinstance(v, ast.Name) and v.id == "id"
+            if not is_id and isinstance(v, ast.Lambda):
+                body = v.body
+                is_id = (
+                    isinstance(body, ast.Call)
+                    and isinstance(body.func, ast.Name)
+                    and body.func.id == "id"
+                )
+            if is_id:
+                self._flag(node, "DET003",
+                           "ordering keyed on id() depends on memory layout")
+
+    # -- DET004 -----------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self._flag(node.iter, "DET004",
+                       "for-loop over a set; wrap in sorted() for stable order")
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node: _t.Any) -> None:
+        for gen in node.generators:
+            if _is_set_expr(gen.iter):
+                self._flag(gen.iter, "DET004",
+                           "comprehension over a set; wrap in sorted()")
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_DictComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+
+    # -- DET005 -----------------------------------------------------------
+    def _is_cell_worker_deco(self, deco: ast.AST) -> bool:
+        if isinstance(deco, ast.Call):
+            deco = deco.func
+        dotted = _dotted(deco)
+        return dotted is not None and dotted[-1] == "cell_worker"
+
+    def _check_lambda_worker(self, node: ast.Call) -> None:
+        # cell_worker("name")(lambda ...) — registering an unpicklable worker.
+        if not (isinstance(node.func, ast.Call)
+                and self._is_cell_worker_deco(node.func)):
+            return
+        if any(isinstance(a, ast.Lambda) for a in node.args):
+            self._flag(node, "DET005",
+                       "lambda registered as a cell worker cannot be pickled")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self._func_depth > 0 and any(
+            self._is_cell_worker_deco(d) for d in node.decorator_list
+        ):
+            self._flag(node, "DET005",
+                       f"cell worker {node.name!r} is a nested function; "
+                       "workers must be module-level to be picklable")
+        self._func_depth += 1
+        self.generic_visit(node)
+        self._func_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- DET006 -----------------------------------------------------------
+    def visit_If(self, node: ast.If) -> None:
+        if _mentions_rank(node.test):
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.YieldFrom):
+                    continue
+                call = sub.value
+                if (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr in COLLECTIVE_METHODS):
+                    self._flag(
+                        call, "DET006",
+                        f"collective {call.func.attr}() inside rank-dependent "
+                        "branch; every rank of the communicator must call it",
+                    )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint one source string; returns the unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(
+            path=path, line=exc.lineno or 0, col=(exc.offset or 0),
+            rule="DET000", message=f"syntax error: {exc.msg}",
+        )]
+    linter = _FileLinter(path)
+    linter.visit(tree)
+    suppressed = _suppressions(source)
+    kept = []
+    for f in sorted(linter.findings, key=lambda f: (f.line, f.col, f.rule)):
+        rules = suppressed.get(f.line, ...)
+        if rules is ... or (rules is not None and f.rule not in rules):
+            kept.append(f)
+    return kept
+
+
+def lint_file(path: str | pathlib.Path) -> list[LintFinding]:
+    """Lint one file."""
+    p = pathlib.Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def iter_python_files(paths: _t.Iterable[str | pathlib.Path]) -> list[pathlib.Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    A path that does not exist (or is neither a directory nor a ``.py``
+    file) raises :class:`ConfigError` — a lint run over zero files must
+    never pass as "clean" just because the cwd was wrong.
+    """
+    out: list[pathlib.Path] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            out.extend(
+                f for f in p.rglob("*.py")
+                if "__pycache__" not in f.parts
+                and not any(part.startswith(".") for part in f.parts)
+            )
+        elif p.is_file() and p.suffix == ".py":
+            out.append(p)
+        else:
+            raise ConfigError(f"lint path {p} is not a directory or .py file")
+    return sorted(set(out))
+
+
+def lint_paths(paths: _t.Iterable[str | pathlib.Path]) -> list[LintFinding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[LintFinding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_file(f))
+    return findings
+
+
+def render_findings(findings: _t.Sequence[LintFinding]) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    if not findings:
+        return "lint: clean"
+    lines = [f.render() for f in findings]
+    by_rule: dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    summary = ", ".join(f"{r} x{n}" for r, n in sorted(by_rule.items()))
+    lines.append(f"lint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)

@@ -9,7 +9,11 @@ Commands
 ``run <ids...>``
     Regenerate experiments (``all`` for everything); ``--full`` runs the
     complete sweeps, ``--jobs N`` fans sweep cells over N processes,
+    ``--sanitize`` runs every world under the MPI sanitizer,
     ``--json``/``--csv``/``--out`` export results.
+``lint [paths...]``
+    Static determinism linter over ``src``/``benchmarks`` (or the given
+    paths); exits 1 when findings remain (see ``docs/analysis.md``).
 ``osu <platform>``
     Run the OSU latency + bandwidth pair on one platform.
 ``npb <bench> <platform> <nprocs>``
@@ -48,6 +52,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
     batch = run_batch(
         ids, quick=not args.full, seed=args.seed, jobs=args.jobs,
+        sanitize=args.sanitize,
         progress=lambda eid: print(f"[running] {eid}", file=sys.stderr),
     )
     print(batch.render())
@@ -89,6 +94,24 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in records) else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.lint import lint_paths, render_findings
+
+    paths = args.paths or ["src", "benchmarks"]
+    findings = lint_paths(paths)
+    if args.json:
+        print(json.dumps([
+            {"path": f.path, "line": f.line, "col": f.col,
+             "rule": f.rule, "message": f.message}
+            for f in findings
+        ], indent=2))
+    else:
+        print(render_findings(findings))
+    return 1 if findings else 0
+
+
 def _cmd_npb(args: argparse.Namespace) -> int:
     from repro.npb import get_benchmark
     from repro.platforms import get_platform
@@ -121,9 +144,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for sweep cells (0 = all CPUs); output is "
              "identical to --jobs 1",
     )
+    run.add_argument(
+        "--sanitize", action="store_true",
+        help="run every simulated world under the MPI sanitizer "
+             "(deadlock/collective-mismatch/message-leak checks)",
+    )
     run.add_argument("--json", help="export comparisons as JSON")
     run.add_argument("--csv", help="export comparisons as CSV")
     run.add_argument("--out", help="write the text report to a file")
+
+    lint = sub.add_parser(
+        "lint", help="static determinism linter (DET001-DET006)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: src benchmarks)",
+    )
+    lint.add_argument("--json", action="store_true", help="JSON findings")
 
     osu = sub.add_parser("osu", help="run OSU latency/bandwidth on a platform")
     osu.add_argument("platform", choices=["vayu", "dcc", "ec2"])
@@ -151,6 +188,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
     "osu": _cmd_osu,
     "npb": _cmd_npb,
     "verify": _cmd_verify,
+    "lint": _cmd_lint,
 }
 
 

@@ -10,8 +10,9 @@ programmatic surface:
   process counts on one platform (a Fig 4/5/6 curve);
 * :class:`~repro.core.study.PlatformComparison` — the same workload
   across platforms (a Fig 3 bar group / Table II row);
-* :mod:`repro.core.analysis` — speedups, normalisation, the Table III
-  statistics (rcomp/rcomm/%comm/%imbal/I/O).
+* :mod:`repro.analysis.stats` — speedups, normalisation, the Table III
+  statistics (rcomp/rcomm/%comm/%imbal/I/O); re-exported here (the old
+  ``repro.core.analysis`` location remains as a shim).
 
 Typical use::
 
@@ -23,7 +24,7 @@ Typical use::
     print(curve.speedups())
 """
 
-from repro.core.analysis import (
+from repro.analysis.stats import (
     SectionStats,
     normalized_times,
     speedup_series,

@@ -1,145 +1,24 @@
-"""Performance-analysis helpers for the study results.
+"""Compatibility shim — this module moved to :mod:`repro.analysis.stats`.
 
-These functions compute exactly the derived quantities the paper
-reports: speedup series (Figs 4-6), times normalised to a reference
-platform (Fig 3), and the Table III statistics — computation and
-communication ratios relative to a reference platform, communication
-percentage, load imbalance and I/O time.
+The derived-statistics helpers (speedups, normalisation, Table III)
+now live in the :mod:`repro.analysis` correctness-and-analysis package
+alongside the MPI sanitizer and the determinism linter.  Import from
+``repro.analysis`` (or ``repro.analysis.stats``) in new code; this shim
+keeps the historical ``repro.core.analysis`` import path working.
 """
 
-from __future__ import annotations
+from repro.analysis.stats import (
+    SectionStats,
+    normalized_times,
+    render_stats_table,
+    speedup_series,
+    table3_stats,
+)
 
-import dataclasses
-import typing as _t
-
-from repro.errors import ConfigError
-
-
-def speedup_series(
-    times: _t.Mapping[int, float], base_procs: int | None = None
-) -> dict[int, float]:
-    """Speedups of a ``{nprocs: time}`` map relative to ``base_procs``.
-
-    ``base_procs`` defaults to the smallest process count present (the
-    paper uses 1 for NPB and 8 for the applications).
-    """
-    if not times:
-        raise ConfigError("empty time series")
-    base = base_procs if base_procs is not None else min(times)
-    if base not in times:
-        raise ConfigError(f"base process count {base} missing from series")
-    t0 = times[base]
-    if t0 <= 0:
-        raise ConfigError(f"non-positive base time: {t0}")
-    return {p: t0 / t for p, t in sorted(times.items())}
-
-
-def normalized_times(
-    times: _t.Mapping[str, float], reference: str
-) -> dict[str, float]:
-    """Times per platform normalised to ``reference`` (Fig 3 style)."""
-    if reference not in times:
-        raise ConfigError(f"reference platform {reference!r} missing")
-    ref = times[reference]
-    if ref <= 0:
-        raise ConfigError(f"non-positive reference time: {ref}")
-    return {name: t / ref for name, t in times.items()}
-
-
-@dataclasses.dataclass(frozen=True, slots=True)
-class SectionStats:
-    """One platform's row of a Table-III-style statistics block."""
-
-    platform: str
-    time: float
-    rcomp: float
-    rcomm: float
-    comm_percent: float
-    imbalance_percent: float
-    io_time: float
-
-    def row(self) -> dict[str, str]:
-        return {
-            "": self.platform,
-            "time(s)": f"{self.time:.0f}",
-            "rcomp": f"{self.rcomp:.2f}",
-            "rcomm": f"{self.rcomm:.2f}",
-            "%comm": f"{self.comm_percent:.0f}",
-            "%imbal": f"{self.imbalance_percent:.0f}",
-            "I/O (s)": f"{self.io_time:.1f}",
-        }
-
-
-class _Table3Source(_t.Protocol):
-    """What :func:`table3_stats` needs from an application result."""
-
-    platform: str
-
-    @property
-    def total_time(self) -> float: ...
-
-    def comm_time(self, region: str = ...) -> float: ...
-
-    def compute_time(self, region: str = ...) -> float: ...
-
-    def comm_percent(self, region: str = ...) -> float: ...
-
-    def imbalance_percent(self, region: str = ...) -> float: ...
-
-
-def table3_stats(
-    results: _t.Mapping[str, _t.Any] | _t.Sequence[_t.Any],
-    reference_platform: str = "Vayu",
-    io_attr: str = "io_time",
-) -> list[SectionStats]:
-    """Build Table III from application results (one per platform).
-
-    ``results`` is either a ``{label: result}`` mapping (labels like
-    ``"EC2-4"`` distinguish placements on the same platform) or a plain
-    sequence, in which case each result's ``platform`` names it.
-    ``rcomp``/``rcomm`` are the per-rank computation/communication time
-    ratios relative to the reference platform, as the paper defines
-    them.
-    """
-    if isinstance(results, _t.Mapping):
-        by_name = dict(results)
-        ordered = list(results)
-    else:
-        by_name = {r.platform: r for r in results}
-        ordered = [r.platform for r in results]
-    if reference_platform not in by_name:
-        raise ConfigError(
-            f"reference platform {reference_platform!r} not among results "
-            f"({sorted(by_name)})"
-        )
-    ref = by_name[reference_platform]
-    ref_comp = ref.compute_time()
-    ref_comm = ref.comm_time()
-    rows = []
-    for label in ordered:
-        r = by_name[label]
-        rows.append(  # noqa: PERF401 - clarity over comprehension here
-            SectionStats(
-                platform=label,
-                time=r.total_time,
-                rcomp=r.compute_time() / ref_comp if ref_comp > 0 else 0.0,
-                rcomm=r.comm_time() / ref_comm if ref_comm > 0 else 0.0,
-                comm_percent=r.comm_percent(),
-                imbalance_percent=r.imbalance_percent(),
-                io_time=getattr(r, io_attr, 0.0),
-            )
-        )
-    return rows
-
-
-def render_stats_table(rows: _t.Sequence[SectionStats]) -> str:
-    """Render a Table-III-style block as aligned text."""
-    if not rows:
-        return "(no rows)"
-    dicts = [r.row() for r in rows]
-    fields = list(dicts[0].keys())
-    widths = {f: max(len(f), *(len(d[f]) for d in dicts)) for f in fields}
-    lines = ["  ".join(f.ljust(widths[f]) for f in fields)]
-    for d in dicts:
-        lines.append("  ".join(d[f].ljust(widths[f]) for f in fields))
-    return "\n".join(lines)
+__all__ = [
+    "SectionStats",
+    "normalized_times",
+    "render_stats_table",
+    "speedup_series",
+    "table3_stats",
+]

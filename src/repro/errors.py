@@ -7,6 +7,8 @@ to discriminate simulation problems from configuration problems.
 
 from __future__ import annotations
 
+import typing as _t
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -22,19 +24,59 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """The event queue drained while simulated processes were still blocked."""
+    """The event queue drained while simulated processes were still blocked.
 
-    def __init__(self, waiting: int, message: str | None = None) -> None:
+    When the run executed under the MPI sanitizer
+    (:mod:`repro.analysis.sanitizer`), the error also carries
+    ``pending_ops`` — one human-readable description per operation the
+    blocked ranks were stuck in — and, if the blocked operations form a
+    wait-for cycle, ``cycle`` names the ranks along it (first rank
+    repeated at the end).  Both are empty for bare engine-level
+    deadlocks detected without the sanitizer.
+    """
+
+    def __init__(
+        self,
+        waiting: int,
+        message: str | None = None,
+        pending_ops: _t.Sequence[str] = (),
+        cycle: _t.Sequence[int] | None = None,
+    ) -> None:
         self.waiting = waiting
-        super().__init__(
-            message
-            or f"simulation deadlock: event queue empty with {waiting} "
-            "process(es) still waiting"
-        )
+        self.pending_ops = tuple(pending_ops)
+        self.cycle = tuple(cycle) if cycle is not None else None
+        if message is None:
+            message = (
+                f"simulation deadlock: event queue empty with {waiting} "
+                "process(es) still waiting"
+            )
+            if self.cycle:
+                message += "; wait-for cycle: " + " -> ".join(
+                    f"rank {r}" for r in self.cycle
+                )
+            if self.pending_ops:
+                message += "\npending operations:\n" + "\n".join(
+                    f"  {op}" for op in self.pending_ops
+                )
+        super().__init__(message)
 
 
 class MpiError(ReproError):
     """Misuse of the simulated MPI API (bad rank, truncated recv, ...)."""
+
+
+class SanitizerError(MpiError):
+    """The runtime MPI sanitizer detected a correctness violation.
+
+    Carries the structured :class:`~repro.analysis.sanitizer.Diagnostic`
+    records behind the message, so tests and tooling can assert on the
+    check name, the ranks involved and the details rather than parsing
+    text.
+    """
+
+    def __init__(self, message: str, diagnostics: _t.Sequence[_t.Any] = ()) -> None:
+        self.diagnostics = tuple(diagnostics)
+        super().__init__(message)
 
 
 class ConfigError(ReproError):

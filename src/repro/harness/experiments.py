@@ -20,7 +20,7 @@ import dataclasses
 import typing as _t
 
 from repro.apps.metum import MetumBenchmark
-from repro.core.analysis import SectionStats, render_stats_table
+from repro.analysis.stats import SectionStats, render_stats_table
 from repro.errors import ConfigError
 from repro.harness import paper
 from repro.harness.figures import (

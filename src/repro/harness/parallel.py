@@ -45,11 +45,24 @@ _WORKERS: dict[str, _t.Callable[..., _t.Any]] = {}
 
 
 def cell_worker(name: str) -> _t.Callable[[_t.Callable], _t.Callable]:
-    """Register a module-level function as a named cell worker."""
+    """Register a module-level function as a named cell worker.
+
+    Registration is picklable-by-construction: lambdas and nested
+    functions are rejected here (their qualified names cannot be
+    resolved by a pool worker's unpickler), so a sweep cannot discover
+    the problem only once ``--jobs`` fans it out to a process pool.
+    """
 
     def deco(fn: _t.Callable) -> _t.Callable:
         if name in _WORKERS:
             raise ConfigError(f"cell worker {name!r} already registered")
+        qualname = getattr(fn, "__qualname__", "")
+        if fn.__name__ == "<lambda>" or "<locals>" in qualname:
+            raise ConfigError(
+                f"cell worker {name!r} ({qualname or fn!r}) is not a "
+                "module-level function; pool workers cannot unpickle "
+                "lambdas or nested functions"
+            )
         _WORKERS[name] = fn
         return fn
 

@@ -23,9 +23,14 @@ class BatchResult:
     """All outputs of one harness batch."""
 
     outputs: dict[str, ExperimentOutput]
+    #: One-line MPI-sanitizer summary (None when the batch ran unsanitized).
+    sanitize_summary: str | None = None
 
     def render(self) -> str:
-        return "\n\n".join(o.render() for o in self.outputs.values())
+        body = "\n\n".join(o.render() for o in self.outputs.values())
+        if self.sanitize_summary is not None:
+            body += f"\n\n[{self.sanitize_summary}]"
+        return body
 
     def comparison_rows(self) -> list[dict[str, _t.Any]]:
         """Flat (experiment, metric, measured, paper, delta%) rows."""
@@ -70,6 +75,7 @@ def run_batch(
     quick: bool = True,
     seed: int = 0,
     jobs: int = 1,
+    sanitize: bool = False,
     progress: _t.Callable[[str], None] | None = None,
 ) -> BatchResult:
     """Run ``experiment_ids`` (default: every registered experiment).
@@ -77,14 +83,45 @@ def run_batch(
     ``jobs > 1`` parallelises each experiment's independent sweep cells
     over a process pool; results are merged by cell key, so the batch
     renders byte-identically to a serial run at the same seed.
+
+    ``sanitize=True`` runs every simulated world in the batch under the
+    MPI sanitizer (:mod:`repro.analysis.sanitizer`): a correctness
+    violation aborts the batch with a
+    :class:`~repro.errors.SanitizerError` (raised in whichever process
+    the cell ran), and a clean batch carries a one-line summary of what
+    was checked.  Sanitizing never changes results — the checks observe
+    the simulation without scheduling events.
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         raise ConfigError(f"unknown experiments: {unknown}")
-    outputs: dict[str, ExperimentOutput] = {}
-    for eid in ids:
-        if progress is not None:
-            progress(eid)
-        outputs[eid] = run_experiment(eid, quick=quick, seed=seed, jobs=jobs)
-    return BatchResult(outputs)
+
+    def _run_all() -> dict[str, ExperimentOutput]:
+        outputs: dict[str, ExperimentOutput] = {}
+        for eid in ids:
+            if progress is not None:
+                progress(eid)
+            outputs[eid] = run_experiment(eid, quick=quick, seed=seed, jobs=jobs)
+        return outputs
+
+    if not sanitize:
+        return BatchResult(_run_all())
+
+    from repro.analysis.sanitizer import sanitize_scope
+
+    with sanitize_scope() as reports:
+        outputs = _run_all()
+        nwarn = sum(len(r.warnings()) for r in reports)
+        summary = (
+            f"sanitize: clean — {len(reports)} world(s), "
+            f"{sum(r.sends_checked for r in reports)} send(s), "
+            f"{sum(r.collectives_checked for r in reports)} collective "
+            f"op(s) checked, {nwarn} warning(s), 0 errors"
+        )
+        if nwarn:
+            details = [
+                d.render() for r in reports for d in r.warnings()
+            ]
+            summary += "\n" + "\n".join(details)
+    return BatchResult(outputs, sanitize_summary=summary)

@@ -80,6 +80,12 @@ class Engine:
         self.dispatched: int = 0
         #: Free list of recycled :class:`_Sleep` tokens.
         self._sleep_pool: list[_Sleep] = []
+        #: Optional richer deadlock reporter.  When set (e.g. by the MPI
+        #: sanitizer), a queue-drained-while-blocked condition raises
+        #: ``deadlock_factory(blocked_count)`` instead of a bare
+        #: :class:`DeadlockError`, so the error can name the waiting
+        #: ranks, their pending operations and any wait-for cycle.
+        self.deadlock_factory: _t.Callable[[int], DeadlockError] | None = None
 
     # -- factories -------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -136,6 +142,12 @@ class Engine:
         ev.add_callback(lambda _ev: fn())
         return ev
 
+    def _deadlock(self) -> DeadlockError:
+        """Build the error for a drained queue with blocked processes."""
+        if self.deadlock_factory is not None:
+            return self.deadlock_factory(self._blocked)
+        return DeadlockError(self._blocked)
+
     # -- running ----------------------------------------------------------
     def step(self) -> float:
         """Dispatch the next event; return the new simulated time."""
@@ -169,7 +181,7 @@ class Engine:
             if self.tracer is not None:
                 while target.callbacks is not None:
                     if not heap:
-                        raise DeadlockError(self._blocked)
+                        raise self._deadlock()
                     self.step()
                 return target.value
             # An event's callback list becomes None exactly once, when it
@@ -179,7 +191,7 @@ class Engine:
             try:
                 while target.callbacks is not None:
                     if not heap:
-                        raise DeadlockError(self._blocked)
+                        raise self._deadlock()
                     when, _seq, event = pop(heap)
                     self.now = when
                     n += 1
@@ -207,7 +219,7 @@ class Engine:
                 finally:
                     self.dispatched += n
             if self._blocked:
-                raise DeadlockError(self._blocked)
+                raise self._deadlock()
             return None
         horizon = float(until)
         if self.tracer is not None:

@@ -27,7 +27,19 @@ from repro.smpi.collectives.algorithms import (
     scatter_time,
 )
 
+#: Canonical registry of the :class:`~repro.smpi.comm.Comm` methods that
+#: synchronise every rank of a communicator.  The determinism linter
+#: (rule DET006) and the sanitizer docs treat exactly these names as
+#: collectives: calling one under rank-dependent control flow deadlocks
+#: the ranks that skip it.
+COLLECTIVE_METHODS: frozenset[str] = frozenset({
+    "barrier", "bcast", "reduce", "allreduce", "gather", "allgather",
+    "scatter", "alltoall", "alltoallv", "reduce_scatter", "scan",
+    "exscan", "split", "dup", "composite", "collective",
+})
+
 __all__ = [
+    "COLLECTIVE_METHODS",
     "CollectiveContext",
     "allgather_time",
     "allreduce_time",

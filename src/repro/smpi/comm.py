@@ -260,7 +260,7 @@ class Comm:
         result = yield from self.world.collective(
             self, "MPI_Bcast", nbytes, _alg.bcast_time,
             contribution=value if self.rank == root else None,
-            finisher=finisher, memo_key="bcast",
+            finisher=finisher, memo_key="bcast", root=root,
         )
         return result
 
@@ -279,7 +279,7 @@ class Comm:
 
         result = yield from self.world.collective(
             self, "MPI_Reduce", nbytes, _alg.reduce_time,
-            contribution=value, finisher=finisher, memo_key="reduce",
+            contribution=value, finisher=finisher, memo_key="reduce", root=root,
         )
         return result
 
@@ -310,7 +310,7 @@ class Comm:
 
         result = yield from self.world.collective(
             self, "MPI_Gather", nbytes, _alg.gather_time,
-            contribution=value, finisher=finisher, memo_key="gather",
+            contribution=value, finisher=finisher, memo_key="gather", root=root,
         )
         return result
 
@@ -345,7 +345,7 @@ class Comm:
         result = yield from self.world.collective(
             self, "MPI_Scatter", nbytes, _alg.scatter_time,
             contribution=values if self.rank == root else None,
-            finisher=finisher, memo_key="scatter",
+            finisher=finisher, memo_key="scatter", root=root,
         )
         return result
 

@@ -25,6 +25,7 @@ from repro.smpi.mapping import Placement, place_ranks
 from repro.smpi.message import Message, Request
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.sanitizer import SanitizerReport
     from repro.smpi.comm import Comm
 
 
@@ -59,6 +60,15 @@ class MpiWorld:
         Collective-cost cache (default: the process-wide shared cache
         from :mod:`repro.perf`); pass a disabled
         :class:`~repro.perf.memo.CollectiveMemo` to opt out.
+    sanitize:
+        Attach the runtime MPI sanitizer
+        (:class:`~repro.analysis.sanitizer.MpiSanitizer`): wait-for-graph
+        deadlock reports, collective-sequence mismatch detection,
+        unmatched-send/message-leak checks at finalize and tag/peer
+        validation.  ``None`` (the default) defers to the scope/env
+        default (:func:`repro.analysis.sanitizer.sanitize_enabled`).
+        The sanitizer observes without scheduling events, so sanitized
+        runs keep bit-identical virtual timestamps.
     """
 
     def __init__(
@@ -69,6 +79,7 @@ class MpiWorld:
         seed: int = 0,
         timeline: bool = False,
         memo: CollectiveMemo | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         if isinstance(platform, PlatformSpec):
             self.engine = Engine(seed=seed)
@@ -86,6 +97,13 @@ class MpiWorld:
         self.memo = memo if memo is not None else default_memo()
         self._coll_states: dict[tuple[int, str, int], _CollState] = {}
         self._next_comm_id = 1
+        # Imported lazily: repro.analysis pulls in the linter, which in
+        # turn reads the collective registry from this package.
+        from repro.analysis.sanitizer import MpiSanitizer, sanitize_enabled
+
+        if sanitize is None:
+            sanitize = sanitize_enabled()
+        self.sanitizer = MpiSanitizer(self) if sanitize else None
         #: Optional per-rank interval trace (memory-heavy; off by default).
         from repro.ipm.timeline import Timeline
 
@@ -131,7 +149,10 @@ class MpiWorld:
                 self._send_internode(src, dst, nbytes, tag, payload),
                 name=f"send:{src}->{dst}",
             )
-        return Request(kind="send", event=done, start_time=start, nbytes=nbytes, peer=dst, tag=tag)
+        req = Request(kind="send", event=done, start_time=start, nbytes=nbytes, peer=dst, tag=tag)
+        if self.sanitizer is not None:
+            self.sanitizer.on_send(src, dst, nbytes, tag, req)
+        return req
 
     def _send_intranode(
         self, src: int, dst: int, nbytes: int, tag: int, payload: _t.Any
@@ -197,7 +218,10 @@ class MpiWorld:
         """Start a receive; the request event fires with the Message."""
         eng = self.engine
         proc = eng.process(self._recv_process(rank, source, tag), name=f"recv:{rank}")
-        return Request(kind="recv", event=proc, start_time=eng.now, nbytes=0, peer=source, tag=tag)
+        req = Request(kind="recv", event=proc, start_time=eng.now, nbytes=0, peer=source, tag=tag)
+        if self.sanitizer is not None:
+            self.sanitizer.on_recv(rank, source, tag, req)
+        return req
 
     def _recv_process(self, rank: int, source: int, tag: int) -> _t.Generator:
         from repro.smpi.comm import ANY_SOURCE, ANY_TAG
@@ -227,6 +251,7 @@ class MpiWorld:
         contribution: _t.Any = None,
         finisher: _t.Callable[[dict[int, _t.Any]], dict[int, _t.Any]] | None = None,
         memo_key: _t.Hashable = None,
+        root: int | None = None,
     ) -> _t.Generator:
         """Execute one synchronising collective for the calling rank.
 
@@ -241,6 +266,9 @@ class MpiWorld:
         cache key ``(memo_key, ctx, nbytes)`` fully determines the cost.
         Leave it ``None`` for ad-hoc composite phases whose cost depends
         on state outside the context.
+
+        ``root`` is purely diagnostic: rooted collectives pass it so the
+        sanitizer can detect cross-rank root divergence.
         """
         eng = self.engine
         my_local = comm.rank
@@ -253,6 +281,10 @@ class MpiWorld:
         if my_local in state.arrivals:
             raise MpiError(
                 f"rank {my_local} entered collective {name} seq {seq} twice"
+            )
+        if self.sanitizer is not None:
+            self.sanitizer.on_collective(
+                comm, name, seq, root, nbytes, my_local, state.event
             )
         arrival = eng.now
         state.arrivals[my_local] = arrival
@@ -323,10 +355,24 @@ class MpiWorld:
         self.engine.run()
         for rank in range(self.nprocs):
             self.monitor[rank].finalize(finish_times[rank])
+        report = None
+        if self.sanitizer is not None:
+            from repro.errors import SanitizerError
+
+            report = self.sanitizer.finalize()
+            errors = report.errors()
+            if errors:
+                raise SanitizerError(
+                    "MPI sanitizer found "
+                    f"{len(errors)} error(s) at finalize:\n"
+                    + "\n".join(f"  {d.render()}" for d in errors),
+                    errors,
+                )
         return RunResult(
             world=self,
             wall_time=self.engine.now,
             rank_results=[p.value for p in procs],
+            sanitizer_report=report,
         )
 
 
@@ -337,6 +383,8 @@ class RunResult:
     world: MpiWorld
     wall_time: float
     rank_results: list[_t.Any]
+    #: Structured sanitizer output (None when the run was unsanitized).
+    sanitizer_report: "SanitizerReport | None" = None
 
     @property
     def monitor(self) -> IpmMonitor:

@@ -1,0 +1,220 @@
+"""Determinism-linter coverage: every rule fires on its defect class,
+suppressions work, and the repo itself lints clean."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    lint_paths,
+    lint_source,
+    render_findings,
+)
+from repro.cli import main
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def rules_for(source: str) -> list[str]:
+    return [f.rule for f in lint_source(source, "snippet.py")]
+
+
+class TestDET001WallClock:
+    def test_time_time(self):
+        assert rules_for("import time\nt = time.time()\n") == ["DET001"]
+
+    def test_perf_counter_from_import(self):
+        src = "from time import perf_counter\nt = perf_counter()\n"
+        assert rules_for(src) == ["DET001"]
+
+    def test_datetime_now(self):
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert rules_for(src) == ["DET001"]
+
+    def test_datetime_module_utcnow(self):
+        src = "import datetime\nd = datetime.datetime.utcnow()\n"
+        assert rules_for(src) == ["DET001"]
+
+    def test_simulated_clock_is_fine(self):
+        src = "def prog(comm):\n    t = comm.wtime()\n    yield 0\n"
+        assert rules_for(src) == []
+
+
+class TestDET002UnseededRandom:
+    def test_module_level_random(self):
+        assert rules_for("import random\nx = random.random()\n") == ["DET002"]
+
+    def test_unseeded_random_instance(self):
+        assert rules_for("import random\nr = random.Random()\n") == ["DET002"]
+
+    def test_seeded_random_instance_is_fine(self):
+        assert rules_for("import random\nr = random.Random(42)\n") == []
+
+    def test_numpy_legacy_global(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules_for(src) == ["DET002"]
+
+    def test_unseeded_default_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_for(src) == ["DET002"]
+
+    def test_seeded_default_rng_is_fine(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert rules_for(src) == []
+
+    def test_default_rng_from_import(self):
+        src = "from numpy.random import default_rng\nrng = default_rng()\n"
+        assert rules_for(src) == ["DET002"]
+
+
+class TestDET003IdOrdering:
+    def test_sorted_key_id(self):
+        assert rules_for("ys = sorted(xs, key=id)\n") == ["DET003"]
+
+    def test_list_sort_key_id(self):
+        assert rules_for("xs.sort(key=id)\n") == ["DET003"]
+
+    def test_named_key_is_fine(self):
+        assert rules_for("ys = sorted(xs, key=len)\n") == []
+
+
+class TestDET004SetIteration:
+    def test_for_over_set_literal(self):
+        assert rules_for("for x in {1, 2}:\n    pass\n") == ["DET004"]
+
+    def test_comprehension_over_set_call(self):
+        assert rules_for("ys = [y for y in set(xs)]\n") == ["DET004"]
+
+    def test_sorted_set_is_fine(self):
+        assert rules_for("for x in sorted(set(xs)):\n    pass\n") == []
+
+
+class TestDET005UnpicklableWorker:
+    def test_nested_registration(self):
+        src = (
+            "from repro.harness.parallel import cell_worker\n"
+            "def outer():\n"
+            "    @cell_worker('bad')\n"
+            "    def inner(x):\n"
+            "        return x\n"
+        )
+        assert rules_for(src) == ["DET005"]
+
+    def test_lambda_registration(self):
+        src = (
+            "from repro.harness.parallel import cell_worker\n"
+            "w = cell_worker('bad')(lambda x: x)\n"
+        )
+        assert rules_for(src) == ["DET005"]
+
+    def test_module_level_registration_is_fine(self):
+        src = (
+            "from repro.harness.parallel import cell_worker\n"
+            "@cell_worker('good')\n"
+            "def worker(x):\n"
+            "    return x\n"
+        )
+        assert rules_for(src) == []
+
+
+class TestDET006RankDependentCollective:
+    def test_collective_under_rank_branch(self):
+        src = (
+            "def prog(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        yield from comm.bcast(8)\n"
+        )
+        assert rules_for(src) == ["DET006"]
+
+    def test_unconditional_collective_is_fine(self):
+        src = "def prog(comm):\n    yield from comm.bcast(8)\n"
+        assert rules_for(src) == []
+
+    def test_point_to_point_under_rank_branch_is_fine(self):
+        src = (
+            "def prog(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        yield from comm.send(1, 8)\n"
+        )
+        assert rules_for(src) == []
+
+    def test_str_split_is_not_a_collective(self):
+        src = (
+            "def f(comm, text):\n"
+            "    if comm.rank == 0:\n"
+            "        return text.split()\n"
+        )
+        assert rules_for(src) == []
+
+
+class TestSuppressions:
+    def test_bare_lint_ok_suppresses_everything(self):
+        assert rules_for("import time\nt = time.time()  # lint-ok\n") == []
+
+    def test_rule_specific_suppression(self):
+        src = "import time\nt = time.time()  # lint-ok: DET001 host timer\n"
+        assert rules_for(src) == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = "import time\nt = time.time()  # lint-ok: DET002\n"
+        assert rules_for(src) == ["DET001"]
+
+    def test_multiple_rules_in_one_comment(self):
+        src = (
+            "import time, random\n"
+            "t = time.time() + random.random()  # lint-ok: DET001, DET002\n"
+        )
+        assert rules_for(src) == []
+
+
+class TestInfrastructure:
+    def test_syntax_error_becomes_det000(self):
+        (finding,) = lint_source("def broken(:\n", "bad.py")
+        assert finding.rule == "DET000"
+
+    def test_every_rule_has_a_description(self):
+        assert set(RULES) >= {f"DET00{i}" for i in range(7)}
+        assert all(RULES.values())
+
+    def test_render_findings_clean(self):
+        assert render_findings([]) == "lint: clean"
+
+    def test_render_findings_lists_and_counts(self):
+        findings = lint_source("import time\nt = time.time()\n", "mod.py")
+        text = render_findings(findings)
+        assert "mod.py:2:" in text and "DET001" in text and "1 finding" in text
+
+    def test_missing_path_is_an_error_not_clean(self, tmp_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="lint path"):
+            lint_paths([tmp_path / "no_such_dir"])
+
+    def test_repo_lints_clean(self):
+        """Acceptance criterion: ``repro lint src benchmarks`` exits 0."""
+        findings = lint_paths([REPO / "src", REPO / "benchmarks"])
+        assert findings == [], render_findings(findings)
+
+
+class TestCli:
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nt = time.time()\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+
+        assert main(["lint", str(clean)]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+        assert main(["lint", str(dirty)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        assert main(["lint", "--json", str(dirty)]) == 1
+        (row,) = json.loads(capsys.readouterr().out)
+        assert row["rule"] == "DET002" and row["line"] == 2
