@@ -20,6 +20,7 @@ Package map
 :mod:`repro.npb`        NPB 3.3 skeletons + real numeric kernels
 :mod:`repro.apps`       MetUM and Chaste application models
 :mod:`repro.cloud`      EC2 / StarCluster / packaging / pricing
+:mod:`repro.faults`     deterministic fault injection + resilience
 :mod:`repro.sched`      ANUPBS scheduler + cloudburst policy
 :mod:`repro.arrivef`    ARRIVE-F profiling / prediction / relocation
 :mod:`repro.core`       the study API (scaling studies, comparisons)
@@ -28,6 +29,7 @@ Package map
 """
 
 from repro.core import PlatformComparison, ScalingStudy
+from repro.faults import FaultSchedule
 from repro.platforms import DCC, EC2, VAYU, get_platform
 from repro.smpi import run_program
 
@@ -36,6 +38,7 @@ __version__ = "1.0.0"
 __all__ = [
     "DCC",
     "EC2",
+    "FaultSchedule",
     "PlatformComparison",
     "ScalingStudy",
     "VAYU",

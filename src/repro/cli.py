@@ -10,7 +10,11 @@ Commands
     Regenerate experiments (``all`` for everything); ``--full`` runs the
     complete sweeps, ``--jobs N`` fans sweep cells over N processes,
     ``--sanitize`` runs every world under the MPI sanitizer,
+    ``--faults <spec>`` injects a fault schedule into every world,
     ``--json``/``--csv``/``--out`` export results.
+``faults sweep``
+    Sweep the checkpoint/restart model over failure rate x checkpoint
+    interval (see ``docs/resilience.md``).
 ``lint [paths...]``
     Static determinism linter over ``src``/``benchmarks`` (or the given
     paths); exits 1 when findings remain (see ``docs/analysis.md``).
@@ -52,7 +56,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
     batch = run_batch(
         ids, quick=not args.full, seed=args.seed, jobs=args.jobs,
-        sanitize=args.sanitize,
+        sanitize=args.sanitize, faults=args.faults,
         progress=lambda eid: print(f"[running] {eid}", file=sys.stderr),
     )
     print(batch.render())
@@ -112,6 +116,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults.sweep import sweep_failure_checkpoint
+
+    if args.faults_command == "sweep":
+        result = sweep_failure_checkpoint(
+            args.rates, args.intervals,
+            work=args.work,
+            checkpoint_cost=args.checkpoint_cost,
+            restart_cost=args.restart_cost,
+            trials=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(result.render())
+        return 0
+    raise AssertionError(f"unhandled faults subcommand {args.faults_command!r}")
+
+
 def _cmd_npb(args: argparse.Namespace) -> int:
     from repro.npb import get_benchmark
     from repro.platforms import get_platform
@@ -149,9 +176,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every simulated world under the MPI sanitizer "
              "(deadlock/collective-mismatch/message-leak checks)",
     )
+    run.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject a fault schedule into every simulated world, e.g. "
+             "'nfs:start=0,dur=30,factor=4;link:start=10,dur=5,bw=0.5' "
+             "(see docs/resilience.md; also via REPRO_FAULTS)",
+    )
     run.add_argument("--json", help="export comparisons as JSON")
     run.add_argument("--csv", help="export comparisons as CSV")
     run.add_argument("--out", help="write the text report to a file")
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection and resilience tooling"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    sweep = faults_sub.add_parser(
+        "sweep", help="sweep failure rate x checkpoint interval"
+    )
+    sweep.add_argument(
+        "--rates", type=float, nargs="+", required=True,
+        help="failure rates (per simulated second)",
+    )
+    sweep.add_argument(
+        "--intervals", type=float, nargs="+", required=True,
+        help="checkpoint intervals (seconds of useful work)",
+    )
+    sweep.add_argument(
+        "--work", type=float, default=3600.0,
+        help="total useful work per run (seconds, default 3600)",
+    )
+    sweep.add_argument(
+        "--checkpoint-cost", type=float, default=30.0,
+        help="seconds per checkpoint write (default 30)",
+    )
+    sweep.add_argument(
+        "--restart-cost", type=float, default=60.0,
+        help="seconds to relaunch after a failure (default 60)",
+    )
+    sweep.add_argument(
+        "--trials", type=int, default=32,
+        help="seeded trials averaged per cell (default 32)",
+    )
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep cells (0 = all CPUs); output is "
+             "identical to --jobs 1",
+    )
+    sweep.add_argument("--json", action="store_true", help="JSON output")
 
     lint = sub.add_parser(
         "lint", help="static determinism linter (DET001-DET006)"
@@ -189,6 +261,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
     "npb": _cmd_npb,
     "verify": _cmd_verify,
     "lint": _cmd_lint,
+    "faults": _cmd_faults,
 }
 
 

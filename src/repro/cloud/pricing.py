@@ -33,10 +33,15 @@ class PriceBook:
     def job_cost(
         self, itype: "InstanceType", nodes: int, hours: float, rate: float | None = None
     ) -> float:
-        """Cost of ``nodes`` instances for ``hours`` (hour-rounded)."""
+        """Cost of ``nodes`` instances for ``hours`` (hour-rounded).
+
+        EC2's 2012 billing — which the paper's cost discussion assumes —
+        charges a minimum of one full hour for any launched instance, so
+        even a zero-duration job bills one hour per node.
+        """
         if nodes < 1 or hours < 0:
             raise CloudError(f"invalid job shape: nodes={nodes}, hours={hours}")
-        billed = max(1, math.ceil(hours)) if hours > 0 else 0
+        billed = max(1, math.ceil(hours))
         return nodes * billed * (rate if rate is not None else itype.hourly_usd)
 
 
@@ -103,10 +108,19 @@ class SpotMarket:
         self, itype: "InstanceType", bid: float, start: float, duration: float
     ) -> bool:
         """True if the spot price stays at or below ``bid`` throughout
-        ``[start, start + duration]`` (i.e. the instance survives)."""
-        t = start
-        while t <= start + duration:
-            if self.current_price(itype, t) > bid:
+        ``[start, start + duration]`` (i.e. the instance survives).
+
+        The price is a step function changing only on tick boundaries,
+        so the interval is checked tick by tick — iterating the actual
+        tick indices it covers rather than stepping ``tick_seconds``
+        from ``start``, which for an unaligned ``start`` would sample
+        between boundaries and miss spikes entirely.
+        """
+        if duration < 0:
+            raise CloudError(f"negative duration: {duration}")
+        first = int(start // self.tick_seconds)
+        last = int((start + duration) // self.tick_seconds)
+        for tick in range(first, last + 1):
+            if self.current_price(itype, tick * self.tick_seconds) > bid:
                 return False
-            t += self.tick_seconds
         return True

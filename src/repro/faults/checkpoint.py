@@ -1,0 +1,195 @@
+"""Checkpoint/restart cost model and the restart harness.
+
+Two levels of fidelity:
+
+* :func:`simulate_completion` is the fast analytic model (Young/Daly
+  style, but simulated segment-by-segment rather than approximated in
+  closed form): given total work, a checkpoint policy and a failure
+  rate, it walks exponential failure arrivals over checkpoint segments
+  and returns time-to-completion, restart count and wasted work.  This
+  is what ``repro faults sweep`` evaluates over a failure-rate x
+  checkpoint-interval grid.
+* :func:`run_with_restarts` is the full DES harness: it launches an
+  :class:`~repro.smpi.world.MpiWorld` under a fault schedule, and on a
+  :class:`~repro.errors.RankFailedError` accounts the wasted work since
+  the last consistent application checkpoint plus the restart cost,
+  then relaunches with a derived per-attempt seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+from repro.errors import ConfigError, RankFailedError
+from repro.faults.report import ResilienceReport
+from repro.faults.schedule import FaultSchedule
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.smpi.world import RunResult
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CheckpointPolicy:
+    """How an application checkpoints: write one every ``interval``
+    seconds of useful work, at ``checkpoint_cost`` seconds apiece, and
+    pay ``restart_cost`` seconds to relaunch after a failure."""
+
+    interval: float
+    checkpoint_cost: float = 0.0
+    restart_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigError(f"checkpoint interval must be > 0: {self.interval}")
+        if self.checkpoint_cost < 0 or self.restart_cost < 0:
+            raise ConfigError(f"checkpoint/restart costs must be >= 0: {self}")
+
+
+def young_interval(failure_rate: float, checkpoint_cost: float) -> float:
+    """Young's first-order optimum checkpoint interval:
+    ``sqrt(2 * checkpoint_cost / failure_rate)``."""
+    if failure_rate <= 0 or checkpoint_cost <= 0:
+        raise ConfigError(
+            "young_interval needs failure_rate > 0 and checkpoint_cost > 0"
+        )
+    return math.sqrt(2.0 * checkpoint_cost / failure_rate)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CompletionStats:
+    """Outcome of one analytic checkpoint/restart walk."""
+
+    completion_time: float
+    restarts: int
+    wasted_work: float
+    checkpoint_overhead: float
+
+
+def simulate_completion(
+    work: float,
+    policy: CheckpointPolicy,
+    failure_rate: float,
+    rng,
+    max_failures: int = 100_000,
+) -> CompletionStats:
+    """Walk ``work`` seconds of useful computation under ``policy`` with
+    exponential failures at ``failure_rate`` per second.
+
+    A segment's progress only becomes durable once its checkpoint write
+    completes; a failure mid-segment (or mid-checkpoint) loses the whole
+    segment and costs ``restart_cost`` before work resumes.  ``rng`` is
+    a numpy ``Generator`` — pass a dedicated
+    :class:`~repro.sim.rng.RandomStreams` stream for reproducibility.
+    """
+    if work < 0:
+        raise ConfigError(f"work must be >= 0: {work}")
+    wall = 0.0
+    saved = 0.0
+    restarts = 0
+    wasted = 0.0
+    overhead = 0.0
+    next_fail = (
+        float(rng.exponential(1.0 / failure_rate)) if failure_rate > 0
+        else math.inf
+    )
+    while saved < work:
+        seg = min(policy.interval, work - saved)
+        # The final segment needs no checkpoint: completion is durable.
+        ckpt = policy.checkpoint_cost if saved + seg < work else 0.0
+        seg_end = wall + seg + ckpt
+        if next_fail < seg_end:
+            wasted += max(0.0, min(next_fail - wall, seg))
+            wall = max(wall, next_fail) + policy.restart_cost
+            restarts += 1
+            if restarts >= max_failures:
+                raise ConfigError(
+                    f"no completion within {max_failures} failures "
+                    f"(rate={failure_rate:g}, interval={policy.interval:g})"
+                )
+            next_fail = wall + float(rng.exponential(1.0 / failure_rate))
+            continue
+        wall = seg_end
+        saved += seg
+        overhead += ckpt
+    return CompletionStats(wall, restarts, wasted, overhead)
+
+
+def run_with_restarts(
+    platform: _t.Any,
+    nprocs: int,
+    program: _t.Callable,
+    *args: _t.Any,
+    faults: "FaultSchedule | str",
+    policy: CheckpointPolicy | None = None,
+    seed: int = 0,
+    placement: _t.Any = None,
+    max_restarts: int = 20,
+    **kwargs: _t.Any,
+) -> "RunResult":
+    """Run ``program`` to completion under ``faults``, restarting after
+    each injected kill.  ``platform`` must be a
+    :class:`~repro.platforms.base.PlatformSpec` (each attempt builds a
+    fresh engine and runtime platform).
+
+    Each attempt launches a fresh world with a derived seed
+    (``seed + 7919 * attempt``), so a rate-driven crash process samples a
+    new failure timeline per attempt (an explicit ``crash:at=...`` event
+    repeats every attempt and can never complete — use ``crash:rate=``
+    for restart studies).  Accounting is first-order checkpoint/restart:
+    each failed attempt contributes the work lost since its last
+    *consistent* application checkpoint (see
+    :meth:`~repro.smpi.comm.Comm.checkpoint`) plus the policy's restart
+    cost, and the useful work is counted once, in the attempt that
+    completes.  The returned result's ``resilience`` report aggregates
+    every attempt's injected events and carries ``time_to_completion``.
+    """
+    from repro.smpi.world import MpiWorld
+
+    restart_cost = policy.restart_cost if policy is not None else 0.0
+    total = ResilienceReport()
+    lost = 0.0
+    last_err: RankFailedError | None = None
+    for attempt in range(max_restarts + 1):
+        world = MpiWorld(
+            platform, nprocs, placement=placement,
+            seed=seed + 7919 * attempt, faults=faults,
+        )
+        try:
+            result = world.launch(program, *args, **kwargs)
+        except RankFailedError as err:
+            last_err = err
+            attempt_report = getattr(err, "resilience", None)
+            if attempt_report is not None:
+                total.injected.extend(attempt_report.injected)
+                total.checkpoints += attempt_report.checkpoints
+            failed_at = err.failed_at if err.failed_at is not None else world.engine.now
+            injector = world.fault_injector
+            ckpt = injector.global_checkpoint() if injector is not None else 0.0
+            wasted = max(0.0, failed_at - ckpt)
+            total.restart_count += 1
+            total.wasted_work += wasted
+            lost += wasted + restart_cost
+            continue
+        attempt_report = result.resilience
+        if attempt_report is not None:
+            total.injected.extend(attempt_report.injected)
+            total.checkpoints += attempt_report.checkpoints
+        total.completed = True
+        total.time_to_completion = lost + result.wall_time
+        result.resilience = total
+        return result
+    total.completed = False
+    assert last_err is not None
+    final = RankFailedError(
+        last_err.failed_ranks,
+        message=(
+            f"no completion within {max_restarts} restart(s): last attempt "
+            f"failed at t={last_err.failed_at}"
+        ),
+        failed_at=last_err.failed_at,
+        kind=last_err.kind,
+    )
+    final.resilience = total  # type: ignore[attr-defined]
+    raise final from last_err

@@ -1,0 +1,254 @@
+"""Replays a :class:`~repro.faults.schedule.FaultSchedule` against a world.
+
+The injector is installed by :class:`~repro.smpi.world.MpiWorld` when a
+non-empty schedule is resolved.  It has two kinds of effect:
+
+* **passive windows** (link degradation, stolen time, NFS brown-outs)
+  are pure queries the platform's performance models consult — they
+  schedule no engine events and draw no randomness, so a run whose
+  windows are never active stays bit-identical to a fault-free run;
+* **crashes** (explicit or Poisson-sampled) are engine events armed by
+  :meth:`~repro.smpi.world.MpiWorld.launch` that interrupt every rank
+  process on the victim node.  Surviving ranks that then block on an
+  operation against a dead rank surface a
+  :class:`~repro.errors.RankFailedError` through the engine's
+  ``deadlock_factory`` — the same plumbing the MPI sanitizer uses, so an
+  injected failure is never misreported as a protocol deadlock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+
+from repro.errors import ConfigError, DeadlockError, RankFailedError
+from repro.faults.report import InjectedFault, ResilienceReport
+from repro.faults.schedule import FaultSchedule
+from repro.hardware.interconnect import loss_retransmit_factor
+from repro.hardware.storage import TimeVaryingFilesystem
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+    from repro.smpi.world import MpiWorld
+
+
+class FaultInjector:
+    """Per-world fault replay engine (see module docstring)."""
+
+    def __init__(self, world: "MpiWorld", schedule: FaultSchedule) -> None:
+        self.world = world
+        self.schedule = schedule
+        self.engine = world.engine
+        self.rng = self.engine.rng.child("faults")
+        self.report = ResilienceReport()
+        self.killed_ranks: set[int] = set()
+        self.failed_at: float | None = None
+        self.failed_kind: str = "node-crash"
+        self._procs: list["Process"] = []
+        self._disarmed = False
+        #: Crash wake-up events currently queued in the engine.
+        self._scheduled: list = []
+        #: Per-rank time of the last completed application checkpoint.
+        self._last_ckpt: dict[int, float] = {}
+        #: Windows already recorded in the report (first actual effect).
+        self._window_seen: set[tuple[str, int]] = set()
+
+        platform = world.platform
+        platform.fault_hooks = self
+        if schedule.brownouts:
+            platform.fs = TimeVaryingFilesystem(
+                platform.fs, self.engine, self.fs_factor
+            )
+        self.engine.chain_deadlock_factory(self._deadlock_factory)
+
+    # -- arming / disarming ------------------------------------------------
+    def arm(self, procs: _t.Sequence["Process"]) -> None:
+        """Schedule the crash events (called by ``launch`` once the rank
+        processes exist)."""
+        self._procs = list(procs)
+        eng = self.engine
+        for crash in self.schedule.crashes:
+            self._scheduled.append(eng.call_at(
+                max(crash.at, eng.now),
+                lambda c=crash: self._crash(c.node, c.kind),
+            ))
+        if self.schedule.crash_rate > 0:
+            stream = self.rng.stream("crash-times")
+            self._arm_poisson(stream)
+
+    def _arm_poisson(self, stream) -> None:
+        gap = float(stream.exponential(1.0 / self.schedule.crash_rate))
+        self._scheduled.append(self.engine.call_at(
+            self.engine.now + gap, lambda: self._poisson_crash(stream)
+        ))
+
+    def _poisson_crash(self, stream) -> None:
+        if self._disarmed:
+            return
+        self._crash(None, "node-crash")
+        # Keep the arrival process going only while ranks survive;
+        # otherwise the heap would never drain and the run could not
+        # surface its RankFailedError.
+        if len(self.killed_ranks) < self.world.nprocs:
+            self._arm_poisson(stream)
+
+    def disarm(self) -> None:
+        """Stop injecting: the run completed.
+
+        Pulls the injector's still-queued crash wake-ups out of the
+        engine heap, so the post-completion drain sees exactly the
+        events a fault-free run would — same straggler processing, same
+        final clock, byte-identical results when nothing fired.
+        """
+        self._disarmed = True
+        pending = {ev for ev in self._scheduled if ev.callbacks is not None}
+        self._scheduled.clear()
+        if pending:
+            eng = self.engine
+            eng._heap = [e for e in eng._heap if e[2] not in pending]
+            heapq.heapify(eng._heap)
+
+    # -- crashes -----------------------------------------------------------
+    def _crash(self, node_index: int | None, kind: str) -> None:
+        if self._disarmed:
+            return
+        nodes = [
+            n for n in self.world.platform.nodes
+            if any(r not in self.killed_ranks for r in n.ranks)
+        ]
+        if node_index is None:
+            if not nodes:
+                return
+            pick = self.rng.stream("crash-node")
+            node = nodes[int(pick.integers(len(nodes)))]
+        else:
+            if not (0 <= node_index < len(self.world.platform.nodes)):
+                raise ConfigError(
+                    f"fault schedule kills node {node_index}, but the platform "
+                    f"has {len(self.world.platform.nodes)} node(s)"
+                )
+            node = self.world.platform.nodes[node_index]
+        victims = tuple(
+            r for r in sorted(node.ranks) if r not in self.killed_ranks
+        )
+        now = self.engine.now
+        self.report.injected.append(InjectedFault(
+            kind, now,
+            f"node {node.index} down, killing {len(victims)} rank(s)",
+            victims,
+        ))
+        if not victims:
+            return
+        if self.failed_at is None:
+            self.failed_at = now
+            self.failed_kind = kind
+        self.killed_ranks.update(victims)
+        sanitizer = self.world.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_injected_failure(victims, now, kind)
+        for rank in victims:
+            proc = self._procs[rank] if rank < len(self._procs) else None
+            if proc is not None and proc.alive:
+                proc.interrupt()
+
+    def failure_error(self, waiting: int = 0) -> RankFailedError:
+        """The structured error describing the injected kill(s)."""
+        pending: _t.Sequence[str] = ()
+        sanitizer = self.world.sanitizer
+        if sanitizer is not None:
+            pending = sanitizer.describe_pending()
+        err = RankFailedError(
+            sorted(self.killed_ranks), waiting, pending_ops=pending,
+            failed_at=self.failed_at, kind=self.failed_kind,
+        )
+        err.resilience = self.finalize_report()  # type: ignore[attr-defined]
+        return err
+
+    def _deadlock_factory(
+        self,
+        blocked: int,
+        prev: _t.Callable[[int], DeadlockError] | None,
+    ) -> DeadlockError:
+        """Engine hook: a drained queue with blocked processes is an
+        injected failure when ranks were killed, a genuine deadlock
+        otherwise (delegated to the sanitizer's factory when present)."""
+        if self.killed_ranks:
+            return self.failure_error(blocked)
+        if prev is not None:
+            return prev(blocked)
+        return DeadlockError(blocked)
+
+    # -- checkpoints -------------------------------------------------------
+    def note_checkpoint(self, rank: int, now: float) -> None:
+        """Record one rank's completed checkpoint (from ``Comm.checkpoint``)."""
+        self._last_ckpt[rank] = now
+        self.report.checkpoints += 1
+
+    def global_checkpoint(self) -> float:
+        """Time of the last *consistent* checkpoint: every rank must have
+        checkpointed; the cut is the earliest of the latest per-rank
+        times (work after it is lost on a crash)."""
+        if len(self._last_ckpt) == self.world.nprocs:
+            return min(self._last_ckpt.values())
+        return 0.0
+
+    # -- passive window hooks (consulted by the platform models) ----------
+    def net_time_factor(self, now: float) -> float:
+        """Multiplier on inter-node serialisation time at ``now``."""
+        factor = 1.0
+        for i, w in enumerate(self.schedule.links):
+            if w.active(now):
+                factor *= loss_retransmit_factor(w.loss_rate) / w.bw_factor
+                self._mark_window("link", i, w.start, (
+                    f"interconnect degraded for {w.duration:g} s: bandwidth "
+                    f"x{w.bw_factor:g}, loss {w.loss_rate:g}, "
+                    f"+{w.extra_latency:g} s latency"
+                ))
+        return factor
+
+    def net_extra_latency_at(self, now: float) -> float:
+        """Additional per-message one-way latency at ``now``."""
+        extra = 0.0
+        for w in self.schedule.links:
+            if w.active(now):
+                extra += w.extra_latency
+        return extra
+
+    def stolen_extra(self, now: float, duration: float) -> float:
+        """Extra wall seconds stolen from a compute burst started at ``now``."""
+        hv = self.world.platform.hypervisor
+        extra = 0.0
+        for i, s in enumerate(self.schedule.steals):
+            if s.active(now):
+                extra += hv.steal_burst(duration, s.steal_frac)
+                self._mark_window("steal", i, s.start, (
+                    f"hypervisor steals {s.steal_frac:.0%} of CPU for "
+                    f"{s.duration:g} s"
+                ))
+        return extra
+
+    def fs_factor(self, now: float) -> float:
+        """Multiplier on shared-filesystem operation time at ``now``."""
+        factor = 1.0
+        for i, b in enumerate(self.schedule.brownouts):
+            if b.active(now):
+                factor *= b.slowdown
+                self._mark_window("nfs", i, b.start, (
+                    f"{self.world.platform.spec.fs.name} brown-out: "
+                    f"x{b.slowdown:g} slower for {b.duration:g} s"
+                ))
+        return factor
+
+    def _mark_window(self, kind: str, index: int, start: float, detail: str) -> None:
+        key = (kind, index)
+        if key not in self._window_seen:
+            self._window_seen.add(key)
+            self.report.injected.append(InjectedFault(kind, start, detail))
+
+    # -- reporting ---------------------------------------------------------
+    def finalize_report(self) -> ResilienceReport:
+        """The report for this run (injected events in firing order)."""
+        self.report.killed_ranks = tuple(sorted(self.killed_ranks))
+        self.report.completed = not self.killed_ranks
+        self.report.injected.sort(key=lambda ev: ev.time)
+        return self.report

@@ -1,0 +1,71 @@
+"""Structured record of what a fault schedule did to one run."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass(slots=True)
+class InjectedFault:
+    """One fault event that actually fired during a run."""
+
+    kind: str  # "node-crash" | "spot-reclaim" | "link" | "steal" | "nfs"
+    time: float
+    detail: str
+    ranks: tuple[int, ...] = ()
+
+    def render(self) -> str:
+        ranks = f" [ranks {','.join(map(str, self.ranks))}]" if self.ranks else ""
+        return f"t={self.time:.6g} {self.kind}{ranks}: {self.detail}"
+
+
+@dataclasses.dataclass(slots=True)
+class ResilienceReport:
+    """Everything the fault layer observed for one run (or restart loop).
+
+    ``injected`` lists the events that fired; ``killed_ranks`` the world
+    ranks any crash took down; ``checkpoints`` counts application
+    checkpoints declared via :meth:`~repro.smpi.comm.Comm.checkpoint`;
+    ``restart_count`` / ``wasted_work`` / ``time_to_completion`` are
+    filled in by the restart harness
+    (:func:`repro.faults.checkpoint.run_with_restarts`).
+    """
+
+    injected: list[InjectedFault] = dataclasses.field(default_factory=list)
+    killed_ranks: tuple[int, ...] = ()
+    checkpoints: int = 0
+    restart_count: int = 0
+    wasted_work: float = 0.0
+    time_to_completion: float | None = None
+    completed: bool = True
+
+    def render(self) -> str:
+        head = (
+            f"resilience: {len(self.injected)} fault(s) injected, "
+            f"{len(self.killed_ranks)} rank(s) killed, "
+            f"{self.restart_count} restart(s), "
+            f"wasted work {self.wasted_work:.6g} s"
+        )
+        if self.time_to_completion is not None:
+            head += f", time-to-completion {self.time_to_completion:.6g} s"
+        if not self.completed:
+            head += " [DID NOT COMPLETE]"
+        lines = [head] + [f"  {ev.render()}" for ev in self.injected]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, _t.Any]:
+        """JSON-ready form of the report."""
+        return {
+            "injected": [
+                {"kind": ev.kind, "time": ev.time, "detail": ev.detail,
+                 "ranks": list(ev.ranks)}
+                for ev in self.injected
+            ],
+            "killed_ranks": list(self.killed_ranks),
+            "checkpoints": self.checkpoints,
+            "restart_count": self.restart_count,
+            "wasted_work": self.wasted_work,
+            "time_to_completion": self.time_to_completion,
+            "completed": self.completed,
+        }

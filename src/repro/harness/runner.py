@@ -25,9 +25,13 @@ class BatchResult:
     outputs: dict[str, ExperimentOutput]
     #: One-line MPI-sanitizer summary (None when the batch ran unsanitized).
     sanitize_summary: str | None = None
+    #: Canonical fault-schedule spec the batch ran under (None: fault-free).
+    faults_spec: str | None = None
 
     def render(self) -> str:
         body = "\n\n".join(o.render() for o in self.outputs.values())
+        if self.faults_spec is not None:
+            body += f"\n\n[faults: {self.faults_spec}]"
         if self.sanitize_summary is not None:
             body += f"\n\n[{self.sanitize_summary}]"
         return body
@@ -76,6 +80,7 @@ def run_batch(
     seed: int = 0,
     jobs: int = 1,
     sanitize: bool = False,
+    faults: str | None = None,
     progress: _t.Callable[[str], None] | None = None,
 ) -> BatchResult:
     """Run ``experiment_ids`` (default: every registered experiment).
@@ -91,6 +96,11 @@ def run_batch(
     the cell ran), and a clean batch carries a one-line summary of what
     was checked.  Sanitizing never changes results — the checks observe
     the simulation without scheduling events.
+
+    ``faults`` installs a fault schedule (a spec string, see
+    :mod:`repro.faults.schedule`) for every simulated world in the
+    batch, exported through ``REPRO_FAULTS`` so pool workers inherit the
+    very same timeline.
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -105,23 +115,38 @@ def run_batch(
             outputs[eid] = run_experiment(eid, quick=quick, seed=seed, jobs=jobs)
         return outputs
 
+    def _run_sanitized() -> tuple[dict[str, ExperimentOutput], str]:
+        from repro.analysis.sanitizer import sanitize_scope
+
+        with sanitize_scope() as reports:
+            outputs = _run_all()
+            nwarn = sum(len(r.warnings()) for r in reports)
+            summary = (
+                f"sanitize: clean — {len(reports)} world(s), "
+                f"{sum(r.sends_checked for r in reports)} send(s), "
+                f"{sum(r.collectives_checked for r in reports)} collective "
+                f"op(s) checked, {nwarn} warning(s), 0 errors"
+            )
+            if nwarn:
+                details = [
+                    d.render() for r in reports for d in r.warnings()
+                ]
+                summary += "\n" + "\n".join(details)
+        return outputs, summary
+
+    faults_spec: str | None = None
+    if faults:
+        from repro.faults.schedule import faults_scope
+
+        with faults_scope(faults) as schedule:
+            faults_spec = schedule.spec()
+            if sanitize:
+                outputs, summary = _run_sanitized()
+                return BatchResult(outputs, sanitize_summary=summary,
+                                   faults_spec=faults_spec)
+            return BatchResult(_run_all(), faults_spec=faults_spec)
+
     if not sanitize:
         return BatchResult(_run_all())
-
-    from repro.analysis.sanitizer import sanitize_scope
-
-    with sanitize_scope() as reports:
-        outputs = _run_all()
-        nwarn = sum(len(r.warnings()) for r in reports)
-        summary = (
-            f"sanitize: clean — {len(reports)} world(s), "
-            f"{sum(r.sends_checked for r in reports)} send(s), "
-            f"{sum(r.collectives_checked for r in reports)} collective "
-            f"op(s) checked, {nwarn} warning(s), 0 errors"
-        )
-        if nwarn:
-            details = [
-                d.render() for r in reports for d in r.warnings()
-            ]
-            summary += "\n" + "\n".join(details)
+    outputs, summary = _run_sanitized()
     return BatchResult(outputs, sanitize_summary=summary)

@@ -189,8 +189,16 @@ class Platform:
         self._net_rng = rng.stream("net")
         self._compute_rng = rng.stream("compute")
         self._numa_rng = rng.stream("numa")
+        # Dedicated stream for the OS-noise spike draws, so that noise
+        # models differing only in spike parameters consume identical
+        # draw counts from the main compute stream (see OsNoiseModel).
+        self._noise_spike_rng = rng.stream("noise-spike")
         self._models: dict[int, RankComputeModel] = {}
         self._shm_pressure: dict[int, float] = {}
+        #: Fault-injection hooks (a :class:`~repro.faults.FaultInjector`);
+        #: ``None`` — the common case — keeps every query a pure
+        #: pass-through so fault-free runs stay bit-identical.
+        self.fault_hooks: _t.Any = None
 
     # -- placement-dependent model resolution -----------------------------
     def finalize_placement(self) -> None:
@@ -297,17 +305,27 @@ class Platform:
             base *= 1.0 + model.numa_noise * weight * depth * float(
                 self._compute_rng.exponential(1.0)
             )
-        noisy = base + self.spec.noise.sample(self._compute_rng, base)
+        noisy = base + self.spec.noise.sample(
+            self._compute_rng, base, spike_rng=self._noise_spike_rng
+        )
         noisy += self.hypervisor.compute_jitter(self._compute_rng, base)
+        if self.fault_hooks is not None:
+            noisy += self.fault_hooks.stolen_extra(self.engine.now, base)
         return noisy
 
     def net_extra_latency(self) -> float:
         """Sample the hypervisor's extra network latency for one message."""
-        return self.hypervisor.net_extra_latency(self._net_rng)
+        extra = self.hypervisor.net_extra_latency(self._net_rng)
+        if self.fault_hooks is not None:
+            extra += self.fault_hooks.net_extra_latency_at(self.engine.now)
+        return extra
 
     def net_serialize(self, nbytes: int) -> float:
         """NIC serialisation time for an inter-node message."""
-        return self.spec.fabric.serialize_time(nbytes) / self.hypervisor.net_bw_factor()
+        t = self.spec.fabric.serialize_time(nbytes) / self.hypervisor.net_bw_factor()
+        if self.fault_hooks is not None:
+            t *= self.fault_hooks.net_time_factor(self.engine.now)
+        return t
 
     @property
     def net_rng(self) -> "np.random.Generator":

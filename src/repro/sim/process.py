@@ -55,6 +55,13 @@ class Process(Event):
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
         exc = exc or Interrupted(self)
+        if self._waiting_on is not None:
+            # The pending event may still fire later (an in-flight message
+            # delivery, a collective completing); drop our claim on it now
+            # so the interrupt below is the only resumption and the
+            # blocked-process count stays balanced.
+            self._waiting_on = None
+            self.engine._blocked -= 1
         wake = self.engine.event(f"interrupt:{self.name}")
         wake.add_callback(lambda _ev: self._step(exc, is_error=True))
         wake.succeed(None)
@@ -69,6 +76,11 @@ class Process(Event):
             self._step(event._value, is_error=False)
 
     def _step(self, value: _t.Any, *, is_error: bool) -> None:
+        if self.triggered:
+            # A late wake-up (e.g. a pooled sleep token firing after an
+            # interrupt already terminated the process) has nothing to
+            # deliver.
+            return
         engine = self.engine
         try:
             if is_error:
@@ -105,6 +117,10 @@ class Process(Event):
         target.add_callback(self._resume_unblock)
 
     def _resume_unblock(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            # Stale wake-up: an interrupt already detached the process
+            # from this event (its blocked count was settled there).
+            return
         self.engine._blocked -= 1
         self._resume(event)
 

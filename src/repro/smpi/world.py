@@ -26,6 +26,8 @@ from repro.smpi.message import Message, Request
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.sanitizer import SanitizerReport
+    from repro.faults.report import ResilienceReport
+    from repro.faults.schedule import FaultSchedule
     from repro.smpi.comm import Comm
 
 
@@ -69,6 +71,13 @@ class MpiWorld:
         default (:func:`repro.analysis.sanitizer.sanitize_enabled`).
         The sanitizer observes without scheduling events, so sanitized
         runs keep bit-identical virtual timestamps.
+    faults:
+        A :class:`~repro.faults.FaultSchedule`, a spec string (see
+        :mod:`repro.faults.schedule`), or ``None`` to defer to the
+        ``REPRO_FAULTS`` environment variable.  A non-empty schedule
+        installs a :class:`~repro.faults.FaultInjector`; with no
+        schedule every fault hook is a pure pass-through and the run is
+        bit-identical to one built before the fault layer existed.
     """
 
     def __init__(
@@ -80,6 +89,7 @@ class MpiWorld:
         timeline: bool = False,
         memo: CollectiveMemo | None = None,
         sanitize: bool | None = None,
+        faults: "FaultSchedule | str | None" = None,
     ) -> None:
         if isinstance(platform, PlatformSpec):
             self.engine = Engine(seed=seed)
@@ -104,6 +114,15 @@ class MpiWorld:
         if sanitize is None:
             sanitize = sanitize_enabled()
         self.sanitizer = MpiSanitizer(self) if sanitize else None
+        # The injector chains its deadlock factory over the sanitizer's,
+        # so it must be installed after the sanitizer.
+        from repro.faults.injector import FaultInjector
+        from repro.faults.schedule import resolve_schedule
+
+        schedule = resolve_schedule(faults)
+        self.fault_injector = (
+            FaultInjector(self, schedule) if schedule is not None else None
+        )
         #: Optional per-rank interval trace (memory-heavy; off by default).
         from repro.ipm.timeline import Timeline
 
@@ -349,12 +368,26 @@ class MpiWorld:
             )
             procs.append(proc)
 
+        injector = self.fault_injector
+        if injector is not None:
+            injector.arm(procs)
         done = self.engine.all_of(procs)
         self.engine.run(done)
-        # Drain any stragglers (e.g. pending event callbacks at same time).
+        if injector is not None:
+            # The run is over: pull un-fired crash events out of the heap
+            # so the drain below cannot advance the clock to their times.
+            injector.disarm()
+        # Drain any stragglers (e.g. in-flight message arrivals), exactly
+        # as a fault-free run would — the sanitizer's finalize checks
+        # depend on seeing every delivered message.
         self.engine.run()
         for rank in range(self.nprocs):
             self.monitor[rank].finalize(finish_times[rank])
+        if injector is not None and injector.killed_ranks:
+            # Raised before sanitizer finalize: unmatched operations
+            # involving dead ranks are a consequence of the injected
+            # fault, not an application protocol bug.
+            raise injector.failure_error()
         report = None
         if self.sanitizer is not None:
             from repro.errors import SanitizerError
@@ -373,6 +406,7 @@ class MpiWorld:
             wall_time=self.engine.now,
             rank_results=[p.value for p in procs],
             sanitizer_report=report,
+            resilience=injector.finalize_report() if injector is not None else None,
         )
 
 
@@ -385,6 +419,8 @@ class RunResult:
     rank_results: list[_t.Any]
     #: Structured sanitizer output (None when the run was unsanitized).
     sanitizer_report: "SanitizerReport | None" = None
+    #: What the fault layer injected (None when no schedule was installed).
+    resilience: "ResilienceReport | None" = None
 
     @property
     def monitor(self) -> IpmMonitor:

@@ -42,13 +42,30 @@ class OsNoiseModel:
         if self.spike_seconds < 0:
             raise ConfigError(f"invalid OsNoiseModel: {self}")
 
-    def sample(self, rng: np.random.Generator, duration: float) -> float:
-        """Extra seconds of noise injected into a ``duration``-second burst."""
+    def sample(
+        self,
+        rng: np.random.Generator,
+        duration: float,
+        spike_rng: np.random.Generator | None = None,
+    ) -> float:
+        """Extra seconds of noise injected into a ``duration``-second burst.
+
+        The spike draws always happen — exactly two per burst, from
+        ``spike_rng`` (default: ``rng``) — even when ``spike_prob`` is 0,
+        so two models differing only in their spike parameters consume
+        identical draw counts and otherwise-identical runs stay aligned
+        sample-for-sample.  Callers that share ``rng`` with other models
+        should pass a dedicated ``spike_rng`` so spike-parameter tweaks
+        cannot reshuffle unrelated samples either.
+        """
         if duration <= 0:
             return 0.0
         extra = duration * self.frac * rng.exponential(1.0)
-        if self.spike_prob and rng.random() < self.spike_prob:
-            extra += rng.exponential(self.spike_seconds)
+        spikes = spike_rng if spike_rng is not None else rng
+        hit = float(spikes.random())
+        magnitude = float(spikes.standard_exponential())
+        if hit < self.spike_prob:
+            extra += magnitude * self.spike_seconds
         return extra
 
 

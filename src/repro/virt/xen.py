@@ -30,6 +30,10 @@ class XenHvm(Hypervisor):
     masks_numa = True
     exposes_smt_as_cores = True
     system_time_share = 0.6
+    #: With SMT siblings exposed as vCPUs, a stolen sibling degrades the
+    #: co-resident thread as well, so steal windows cost slightly more
+    #: than their CPU share alone.
+    steal_amplification = 1.15
 
     def __init__(
         self,

@@ -176,10 +176,41 @@ class TestSpotMarket:
         assert market.would_outbid(CC1_4XLARGE, 100.0, 0.0, 7200)
         assert not market.would_outbid(CC1_4XLARGE, 0.0001, 0.0, 7200)
 
+    def test_would_outbid_unaligned_start_sees_spike_tick(self):
+        """Regression: an unaligned ``start`` must still check every tick
+        the interval covers.  The old code stepped ``tick_seconds`` from
+        ``start`` itself, sampling between boundaries and skipping the
+        spike on tick 1 entirely for this interval."""
+        market = SpotMarket(
+            seed=7, tick_seconds=100.0, volatility=0.0, reversion=0.0,
+            spike_prob=1.0,
+        )
+        anchor = CC1_4XLARGE.hourly_usd * market.anchor_fraction
+        # Tick 0 is exactly the anchor; tick 1 spikes to >= 2x anchor.
+        assert market.current_price(CC1_4XLARGE, 0.0) == pytest.approx(anchor)
+        assert market.current_price(CC1_4XLARGE, 100.0) >= 2 * anchor
+        # [50, 149] straddles the tick-1 boundary: the spike must outbid.
+        assert not market.would_outbid(CC1_4XLARGE, 1.5 * anchor, 50.0, 99.0)
+        # Entirely inside tick 0 the same bid survives.
+        assert market.would_outbid(CC1_4XLARGE, 1.5 * anchor, 10.0, 80.0)
+        with pytest.raises(CloudError):
+            market.would_outbid(CC1_4XLARGE, 1.0, 0.0, -1.0)
+
     def test_job_cost(self):
         book = PriceBook()
         assert book.job_cost(CC1_4XLARGE, 4, 2.5) == pytest.approx(
             4 * 3 * CC1_4XLARGE.hourly_usd
+        )
+
+    def test_job_cost_minimum_one_hour(self):
+        """Regression: EC2's 2012 billing charges a minimum of one full
+        hour per launched instance, even for a zero-duration job."""
+        book = PriceBook()
+        assert book.job_cost(CC1_4XLARGE, 3, 0.0) == pytest.approx(
+            3 * CC1_4XLARGE.hourly_usd
+        )
+        assert book.job_cost(CC1_4XLARGE, 1, 0.01) == pytest.approx(
+            CC1_4XLARGE.hourly_usd
         )
 
 

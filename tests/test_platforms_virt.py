@@ -142,6 +142,48 @@ class TestHypervisors:
     def test_noise_zero_duration(self):
         assert OsNoiseModel().sample(np.random.default_rng(0), 0.0) == 0.0
 
+    def test_noise_draw_count_independent_of_spike_prob(self):
+        """Regression: ``sample`` must consume the same number of draws
+        whether or not the spike branch is taken, so changing a
+        platform's ``spike_prob`` cannot shift every later sample of a
+        shared stream."""
+        def draws(model):
+            class Counting:
+                def __init__(self):
+                    self.rng = np.random.default_rng(0)
+                    self.count = 0
+                def random(self):
+                    self.count += 1
+                    return self.rng.random()
+                def exponential(self, *a):
+                    self.count += 1
+                    return self.rng.exponential(*a)
+                def standard_exponential(self):
+                    self.count += 1
+                    return self.rng.standard_exponential()
+            rng = Counting()
+            model.sample(rng, 1.0)
+            return rng.count
+
+        assert draws(OsNoiseModel(spike_prob=0.0)) == \
+            draws(OsNoiseModel(spike_prob=0.9))
+
+    def test_noise_spike_stream_isolates_main_stream(self):
+        """With a dedicated ``spike_rng``, the main stream's consumption
+        is identical across spike settings, draw for draw."""
+        for prob in (0.0, 1.0):
+            main = np.random.default_rng(7)
+            spikes = np.random.default_rng(11)
+            model = OsNoiseModel(frac=1.0, spike_prob=prob)
+            for _ in range(3):
+                model.sample(main, 1.0, spike_rng=spikes)
+            # After three samples the main stream has advanced exactly
+            # three exponential draws regardless of spike probability.
+            check = np.random.default_rng(7)
+            for _ in range(3):
+                check.exponential(1.0)
+            assert main.exponential(1.0) == check.exponential(1.0)
+
 
 class TestVmImage:
     def _image(self, isa=frozenset({"sse4"})):
