@@ -6,21 +6,26 @@ DCC+Vayu farm; cited as "up to 33%" improvement in average waiting
 times).
 
 The remaining tests measure the simulation engine itself — events
-dispatched per second on three archetypal workloads (timeout-heavy,
-point-to-point ping-pong, allreduce collectives) — so the sim-layer fast
-path has a dedicated before/after number.  Results are written to
-``BENCH_engine.json`` in the working directory at session end.
+dispatched per second on the :mod:`repro.perf.enginebench` workloads
+(timeout-heavy, point-to-point ping-pong, allreduce collectives, and the
+replay-enabled NPB steady loop) — so the sim-layer fast paths have
+dedicated before/after numbers.  Results are written to
+``BENCH_engine.json`` in the working directory at session end; the same
+rows come from ``python -m repro bench engine``.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
-import time
-
 import pytest
 
-#: Accumulates {workload: {events, seconds, events_per_sec}} rows.
+from repro.perf.enginebench import (
+    WORKLOADS,
+    replay_event_counts,
+    run_workload,
+    write_rows,
+)
+
+#: Accumulates {workload: {events, seconds, events_per_sec, ...}} rows.
 _ENGINE_ROWS: dict[str, dict[str, float]] = {}
 
 
@@ -32,97 +37,27 @@ def test_arrivef(run_and_report):
     assert best > 0.0, "relocation should improve waits on some workload"
 
 
-# ---------------------------------------------------------------------------
-# Engine throughput workloads
-# ---------------------------------------------------------------------------
-# Each returns a finished Engine; the harness divides ``engine.dispatched``
-# by wall time.  Sizes are tuned so each workload runs a few hundred
-# milliseconds — long enough to swamp setup cost, short enough for CI.
-
-
-def _workload_timeouts() -> "object":
-    """Many processes doing nothing but numeric-yield sleeps."""
-    from repro.sim import Engine
-
-    def sleeper(reps: int, delay: float):
-        for _ in range(reps):
-            yield delay
-
-    engine = Engine(seed=7)
-    for i in range(200):
-        engine.process(sleeper(500, 1.0 + i * 1e-3), name=f"s{i}")
-    engine.run()
-    return engine
-
-
-def _workload_p2p() -> "object":
-    """Two ranks ping-ponging small messages."""
-    from repro.platforms import get_platform
-    from repro.smpi.world import MpiWorld
-
-    def pingpong(comm, reps: int, nbytes: int):
-        peer = 1 - comm.rank
-        for _ in range(reps):
-            if comm.rank == 0:
-                yield from comm.send(peer, nbytes)
-                yield from comm.recv(peer)
-            else:
-                yield from comm.recv(peer)
-                yield from comm.send(peer, nbytes)
-
-    world = MpiWorld(get_platform("vayu"), 2, seed=7)
-    world.launch(pingpong, 2000, 1024)
-    return world.engine
-
-
-def _workload_collectives() -> "object":
-    """Eight ranks in an allreduce loop."""
-    from repro.platforms import get_platform
-    from repro.smpi.world import MpiWorld
-
-    def loop(comm, reps: int, nbytes: int):
-        for _ in range(reps):
-            yield from comm.allreduce(nbytes, value=1.0)
-
-    world = MpiWorld(get_platform("vayu"), 8, seed=7)
-    world.launch(loop, 4000, 4096)
-    return world.engine
-
-
-#: workload -> (runner, minimum events for a meaningful rate).  A
-#: collective dispatches only a couple of engine events per operation
-#: (its cost is analytic), so its floor is lower than the p2p/timeout
-#: workloads where every hop is an event.
-_WORKLOADS = {
-    "timeouts": (_workload_timeouts, 10_000),
-    "p2p": (_workload_p2p, 10_000),
-    "collectives": (_workload_collectives, 4_000),
-}
-
-
-@pytest.mark.parametrize("workload", sorted(_WORKLOADS))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
 def test_engine_throughput(workload):
     """Dispatch rate of the engine on one archetypal workload."""
-    fn, min_events = _WORKLOADS[workload]
-    t0 = time.perf_counter()  # lint-ok: DET001 host-side throughput timer
-    engine = fn()
-    seconds = time.perf_counter() - t0  # lint-ok: DET001 host-side throughput timer
-    events = engine.dispatched
-    assert events > min_events, f"{workload} workload too small to measure"
-    _ENGINE_ROWS[workload] = {
-        "events": events,
-        "seconds": seconds,
-        "events_per_sec": events / seconds if seconds else float("inf"),
-    }
+    row = run_workload(workload)  # raises if too small to measure
+    if workload == "replay":
+        row.update(replay_event_counts())
+        # The headline acceptance figure: fast-forwarding a steady
+        # 16-iteration NPB loop must eliminate >= 3x the engine events.
+        assert row["events_ratio"] >= 3.0, (
+            f"replay eliminated only {row['events_ratio']:.2f}x events"
+        )
+        assert row["replayed_iters"] > 0, "replay never engaged"
+    _ENGINE_ROWS[workload] = row
 
 
 def teardown_module(_module) -> None:
     """Write ``BENCH_engine.json`` once all throughput rows exist."""
     if not _ENGINE_ROWS:
         return
-    out = pathlib.Path("BENCH_engine.json")
-    out.write_text(json.dumps(_ENGINE_ROWS, indent=2, sort_keys=True) + "\n")
+    write_rows(_ENGINE_ROWS, "BENCH_engine.json")
     rates = ", ".join(
         f"{k}={v['events_per_sec']:,.0f} ev/s" for k, v in sorted(_ENGINE_ROWS.items())
     )
-    print(f"\n[engine-throughput] {rates} -> {out}")
+    print(f"\n[engine-throughput] {rates} -> BENCH_engine.json")

@@ -160,8 +160,7 @@ class ChasteBenchmark:
                     ctx, halo_bytes / max(1, part.neighbours), max(1, p // 4)
                 )
 
-            for step in range(-1, sim_steps):
-                timed = step >= 0
+            def timestep(timed: bool) -> _t.Generator:
                 if timed:
                     comm.world.monitor[comm.world_rank].enter(STEP_REGION, comm.wtime())
                 with comm.region(ODE_REGION) if timed else _null():
@@ -196,6 +195,12 @@ class ChasteBenchmark:
                             yield from comm.allreduce(4, value=0.0)
                 if timed:
                     comm.world.monitor[comm.world_rank].exit(STEP_REGION, comm.wtime())
+
+            yield from timestep(False)  # warm-up step (untimed, unmarked)
+            for step in range(sim_steps):
+                yield from comm.iteration_scope(
+                    step, sim_steps, lambda: timestep(True), label="timestep"
+                )
 
             # ---- output: every rank writes its piece to the shared fs ----
             with comm.region(OUTPUT_REGION):

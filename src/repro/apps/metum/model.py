@@ -213,9 +213,7 @@ class MetumBenchmark:
 
             halo_volume = cfg.halo_exchanges * 2 * (ew_face + ns_face)
 
-            # Warm-up step (spin-up costs, excluded from 'warmed' time).
-            for step in range(-1, sim_steps):
-                timed = step >= 0
+            def atm_step(timed: bool) -> _t.Generator:
                 if timed:
                     comm.world.monitor[comm.world_rank].enter(
                         STEP_REGION, comm.wtime()
@@ -257,6 +255,13 @@ class MetumBenchmark:
                     comm.world.monitor[comm.world_rank].exit(
                         STEP_REGION, comm.wtime()
                     )
+
+            # Warm-up step (spin-up costs, excluded from 'warmed' time).
+            yield from atm_step(False)
+            for step in range(sim_steps):
+                yield from comm.iteration_scope(
+                    step, sim_steps, lambda: atm_step(True), label="atm_step"
+                )
             return None
 
         program.__name__ = "metum"

@@ -11,7 +11,12 @@ Commands
     complete sweeps, ``--jobs N`` fans sweep cells over N processes,
     ``--sanitize`` runs every world under the MPI sanitizer,
     ``--faults <spec>`` injects a fault schedule into every world,
+    ``--replay``/``--no-replay`` control steady-iteration fast-forward,
+    ``--sim-iters N`` overrides the NPB steady-loop length,
     ``--json``/``--csv``/``--out`` export results.
+``bench engine``
+    Engine dispatch-throughput microbenchmark; writes
+    ``BENCH_engine.json`` and can gate against a baseline (``--check``).
 ``faults sweep``
     Sweep the checkpoint/restart model over failure rate x checkpoint
     interval (see ``docs/resilience.md``).
@@ -57,6 +62,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     batch = run_batch(
         ids, quick=not args.full, seed=args.seed, jobs=args.jobs,
         sanitize=args.sanitize, faults=args.faults,
+        replay=args.replay, sim_iters=args.sim_iters,
         progress=lambda eid: print(f"[running] {eid}", file=sys.stderr),
     )
     print(batch.render())
@@ -139,6 +145,34 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled faults subcommand {args.faults_command!r}")
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.enginebench import (
+        check_against_baseline,
+        load_rows,
+        render_rows,
+        run_engine_bench,
+        write_rows,
+    )
+
+    if args.bench_command != "engine":
+        raise AssertionError(f"unhandled bench subcommand {args.bench_command!r}")
+    rows = run_engine_bench(reps=args.reps)
+    print(render_rows(rows))
+    if args.out:
+        write_rows(rows, args.out)
+        print(f"[written] {args.out}", file=sys.stderr)
+    if args.check:
+        failures = check_against_baseline(
+            rows, load_rows(args.check), tolerance=args.tolerance
+        )
+        if failures:
+            for line in failures:
+                print(f"[regression] {line}", file=sys.stderr)
+            return 1
+        print(f"[ok] within {args.tolerance:.0%} of {args.check}", file=sys.stderr)
+    return 0
+
+
 def _cmd_npb(args: argparse.Namespace) -> int:
     from repro.npb import get_benchmark
     from repro.platforms import get_platform
@@ -181,6 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a fault schedule into every simulated world, e.g. "
              "'nfs:start=0,dur=30,factor=4;link:start=10,dur=5,bw=0.5' "
              "(see docs/resilience.md; also via REPRO_FAULTS)",
+    )
+    run.add_argument(
+        "--replay", action="store_true", default=None,
+        help="fast-forward provably steady iterations (never changes "
+             "results; adds a [perf: ...] banner; also via REPRO_REPLAY)",
+    )
+    run.add_argument(
+        "--no-replay", dest="replay", action="store_false",
+        help="force iteration replay off, overriding REPRO_REPLAY",
+    )
+    run.add_argument(
+        "--sim-iters", type=int, default=None, metavar="N",
+        help="override the NPB steady-loop iteration count (N >= 1)",
     )
     run.add_argument("--json", help="export comparisons as JSON")
     run.add_argument("--csv", help="export comparisons as CSV")
@@ -234,6 +281,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--json", action="store_true", help="JSON findings")
 
+    bench = sub.add_parser("bench", help="performance microbenchmarks")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    engine = bench_sub.add_parser(
+        "engine", help="engine dispatch-throughput workloads"
+    )
+    engine.add_argument(
+        "--out", default="BENCH_engine.json", metavar="PATH",
+        help="write rows as JSON (default BENCH_engine.json; '' to skip)",
+    )
+    engine.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare events/sec against a baseline JSON; exit 1 on regression",
+    )
+    engine.add_argument(
+        "--reps", type=int, default=1,
+        help="repetitions per workload, keeping the fastest (default 1)",
+    )
+    engine.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional events/sec drop for --check (default 0.30)",
+    )
+
     osu = sub.add_parser("osu", help="run OSU latency/bandwidth on a platform")
     osu.add_argument("platform", choices=["vayu", "dcc", "ec2"])
     osu.add_argument("--seed", type=int, default=1)
@@ -262,6 +331,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
     "verify": _cmd_verify,
     "lint": _cmd_lint,
     "faults": _cmd_faults,
+    "bench": _cmd_bench,
 }
 
 

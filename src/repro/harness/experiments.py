@@ -63,7 +63,10 @@ class ExperimentOutput:
 _PLATFORMS = (DCC, EC2, VAYU)
 
 
-def exp_tab1(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
+def exp_tab1(
+    quick: bool = True, seed: int = 0, jobs: int = 1,
+    sim_iters: int | None = None,
+) -> ExperimentOutput:
     """Table I: the experimental platforms."""
     text = platform_table()
     return ExperimentOutput("tab1", "Experimental platforms", {"table": text}, text)
@@ -75,7 +78,10 @@ def _osu_sizes(quick: bool) -> list[int]:
     return [2**k for k in range(0, 23)]
 
 
-def exp_fig1(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
+def exp_fig1(
+    quick: bool = True, seed: int = 0, jobs: int = 1,
+    sim_iters: int | None = None,
+) -> ExperimentOutput:
     """Fig 1: OSU bandwidth on the three platforms."""
     sizes = _osu_sizes(quick)
     iters = 4 if quick else 20
@@ -108,7 +114,10 @@ def exp_fig1(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutp
     return ExperimentOutput("fig1", "OSU MPI bandwidth", {"series": series}, text, comparisons)
 
 
-def exp_fig2(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
+def exp_fig2(
+    quick: bool = True, seed: int = 0, jobs: int = 1,
+    sim_iters: int | None = None,
+) -> ExperimentOutput:
     """Fig 2: OSU latency on the three platforms."""
     sizes = _osu_sizes(quick)
     iters = 20 if quick else 100
@@ -147,11 +156,15 @@ def exp_fig2(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutp
     )
 
 
-def exp_fig3(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
+def exp_fig3(
+    quick: bool = True, seed: int = 0, jobs: int = 1,
+    sim_iters: int | None = None,
+) -> ExperimentOutput:
     """Fig 3: single-process NPB times, normalised to DCC."""
     benches = ("bt", "ep", "cg", "ft", "is", "lu", "mg", "sp")
     cells = [
-        Cell((name, spec.name), "npb_point", (name, spec.name, 1, seed))
+        Cell((name, spec.name), "npb_point",
+             (name, spec.name, 1, seed, "B", sim_iters))
         for name in benches
         for spec in _PLATFORMS
     ]
@@ -192,13 +205,17 @@ def _npb_counts(name: str, quick: bool) -> list[int]:
     return [1, 8, 64] if quick else [1, 2, 4, 8, 16, 32, 64]
 
 
-def exp_fig4(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
+def exp_fig4(
+    quick: bool = True, seed: int = 0, jobs: int = 1,
+    sim_iters: int | None = None,
+) -> ExperimentOutput:
     """Fig 4: NPB speedup curves on the three platforms."""
     benches = ("cg", "ep", "is") if quick else (
         "bt", "ep", "cg", "ft", "is", "lu", "mg", "sp"
     )
     cells = [
-        Cell((name, spec.name, p), "npb_point", (name, spec.name, p, seed))
+        Cell((name, spec.name, p), "npb_point",
+             (name, spec.name, p, seed, "B", sim_iters))
         for name in benches
         for spec in _PLATFORMS
         for p in _npb_counts(name, quick)
@@ -222,11 +239,15 @@ def exp_fig4(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutp
     )
 
 
-def exp_tab2(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
+def exp_tab2(
+    quick: bool = True, seed: int = 0, jobs: int = 1,
+    sim_iters: int | None = None,
+) -> ExperimentOutput:
     """Table II: IPM percentage communication for CG, FT and IS."""
     counts = [2, 8, 64] if quick else [2, 4, 8, 16, 32, 64]
     cells = [
-        Cell((name, spec.name, p), "npb_point", (name, spec.name, p, seed))
+        Cell((name, spec.name, p), "npb_point",
+             (name, spec.name, p, seed, "B", sim_iters))
         for name in ("cg", "ft", "is")
         for p in counts
         for spec in _PLATFORMS
@@ -261,7 +282,10 @@ def exp_tab2(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutp
     )
 
 
-def exp_fig5(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
+def exp_fig5(
+    quick: bool = True, seed: int = 0, jobs: int = 1,
+    sim_iters: int | None = None,
+) -> ExperimentOutput:
     """Fig 5: Chaste total and KSp speedups on Vayu and DCC."""
     counts = [8, 32, 64] if quick else [8, 16, 32, 48, 64]
     sim_steps = 2 if quick else 3
@@ -298,7 +322,10 @@ def _um_variants() -> list[tuple[str, _t.Any, int | None]]:
             ("EC2-4", EC2, 4)]
 
 
-def exp_fig6(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
+def exp_fig6(
+    quick: bool = True, seed: int = 0, jobs: int = 1,
+    sim_iters: int | None = None,
+) -> ExperimentOutput:
     """Fig 6: UM 'warmed' speedups on Vayu, DCC, EC2 and EC2-4."""
     counts = [8, 32, 64] if quick else [8, 16, 32, 48, 64]
     sim_steps = 2 if quick else 3
@@ -332,7 +359,10 @@ def exp_fig6(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutp
     )
 
 
-def exp_tab3(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
+def exp_tab3(
+    quick: bool = True, seed: int = 0, jobs: int = 1,
+    sim_iters: int | None = None,
+) -> ExperimentOutput:
     """Table III: UM statistics at 32 cores."""
     bench = MetumBenchmark(sim_steps=2 if quick else 3)
     results = {}
@@ -369,7 +399,10 @@ def exp_tab3(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutp
     )
 
 
-def exp_fig7(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
+def exp_fig7(
+    quick: bool = True, seed: int = 0, jobs: int = 1,
+    sim_iters: int | None = None,
+) -> ExperimentOutput:
     """Fig 7: per-process ATM_STEP breakdown on Vayu and DCC."""
     bench = MetumBenchmark(sim_steps=2 if quick else 3)
     sections = []
@@ -404,7 +437,10 @@ def exp_fig7(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutp
     )
 
 
-def exp_arrivef(quick: bool = True, seed: int = 0, jobs: int = 1) -> ExperimentOutput:
+def exp_arrivef(
+    quick: bool = True, seed: int = 0, jobs: int = 1,
+    sim_iters: int | None = None,
+) -> ExperimentOutput:
     """ARRIVE-F throughput experiment (section II)."""
     seeds = range(4) if quick else range(12)
     cells = [Cell((s,), "arrivef_point", (seed + s,)) for s in seeds]
@@ -443,13 +479,19 @@ EXPERIMENTS: dict[str, _t.Callable[..., ExperimentOutput]] = {
 
 
 def run_experiment(
-    experiment_id: str, quick: bool = True, seed: int = 0, jobs: int = 1
+    experiment_id: str,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    sim_iters: int | None = None,
 ) -> ExperimentOutput:
     """Run one registered experiment by id.
 
     ``jobs > 1`` fans the experiment's independent sweep cells over a
     process pool; results are merged deterministically, so the output is
-    byte-identical to a ``jobs=1`` run at the same seed.
+    byte-identical to a ``jobs=1`` run at the same seed.  ``sim_iters``
+    overrides the NPB steady-loop iteration count (non-NPB experiments
+    ignore it).
     """
     try:
         fn = EXPERIMENTS[experiment_id]
@@ -457,4 +499,4 @@ def run_experiment(
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(quick=quick, seed=seed, jobs=jobs)
+    return fn(quick=quick, seed=seed, jobs=jobs, sim_iters=sim_iters)

@@ -123,13 +123,20 @@ def run_cells(cells: _t.Sequence[Cell], jobs: int = 1) -> dict[tuple, _t.Any]:
 
 @cell_worker("npb_point")
 def npb_point(
-    bench: str, platform: str, nprocs: int, seed: int, klass: str = "B"
+    bench: str,
+    platform: str,
+    nprocs: int,
+    seed: int,
+    klass: str = "B",
+    sim_iters: int | None = None,
 ) -> dict[str, float]:
     """One NPB benchmark point: projected time and steady %comm."""
     from repro.npb import get_benchmark
     from repro.platforms import get_platform
 
-    r = get_benchmark(bench, klass=klass).run(get_platform(platform), nprocs, seed=seed)
+    r = get_benchmark(bench, klass=klass, sim_iters=sim_iters).run(
+        get_platform(platform), nprocs, seed=seed
+    )
     return {
         "projected_time": r.projected_time,
         "per_iter_time": r.per_iter_time,

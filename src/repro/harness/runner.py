@@ -27,6 +27,8 @@ class BatchResult:
     sanitize_summary: str | None = None
     #: Canonical fault-schedule spec the batch ran under (None: fault-free).
     faults_spec: str | None = None
+    #: One-line memo/replay banner (None unless ``replay=True`` was asked).
+    perf_summary: str | None = None
 
     def render(self) -> str:
         body = "\n\n".join(o.render() for o in self.outputs.values())
@@ -34,6 +36,8 @@ class BatchResult:
             body += f"\n\n[faults: {self.faults_spec}]"
         if self.sanitize_summary is not None:
             body += f"\n\n[{self.sanitize_summary}]"
+        if self.perf_summary is not None:
+            body += f"\n\n[{self.perf_summary}]"
         return body
 
     def comparison_rows(self) -> list[dict[str, _t.Any]]:
@@ -81,6 +85,8 @@ def run_batch(
     jobs: int = 1,
     sanitize: bool = False,
     faults: str | None = None,
+    replay: bool | None = None,
+    sim_iters: int | None = None,
     progress: _t.Callable[[str], None] | None = None,
 ) -> BatchResult:
     """Run ``experiment_ids`` (default: every registered experiment).
@@ -101,18 +107,33 @@ def run_batch(
     :mod:`repro.faults.schedule`) for every simulated world in the
     batch, exported through ``REPRO_FAULTS`` so pool workers inherit the
     very same timeline.
+
+    ``replay`` forces steady-state iteration replay on (``True``, which
+    also adds a ``[perf: ...]`` banner) or off (``False``) for every
+    world, exported through ``REPRO_REPLAY``; the default ``None``
+    leaves the environment's setting in charge and prints no banner.
+    Replay is a pure fast-forward optimization — worlds it cannot prove
+    safe fall back to full simulation, so results never change.
+
+    ``sim_iters`` overrides the NPB steady-loop iteration count for
+    every NPB cell in the batch (the knob that makes replay worthwhile:
+    large counts amortise to the cost of the first few iterations).
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         raise ConfigError(f"unknown experiments: {unknown}")
+    if sim_iters is not None and sim_iters < 1:
+        raise ConfigError(f"sim_iters must be >= 1: {sim_iters}")
 
     def _run_all() -> dict[str, ExperimentOutput]:
         outputs: dict[str, ExperimentOutput] = {}
         for eid in ids:
             if progress is not None:
                 progress(eid)
-            outputs[eid] = run_experiment(eid, quick=quick, seed=seed, jobs=jobs)
+            outputs[eid] = run_experiment(
+                eid, quick=quick, seed=seed, jobs=jobs, sim_iters=sim_iters
+            )
         return outputs
 
     def _run_sanitized() -> tuple[dict[str, ExperimentOutput], str]:
@@ -134,19 +155,30 @@ def run_batch(
                 summary += "\n" + "\n".join(details)
         return outputs, summary
 
-    faults_spec: str | None = None
-    if faults:
-        from repro.faults.schedule import faults_scope
+    def _run_batch() -> BatchResult:
+        faults_spec: str | None = None
+        if faults:
+            from repro.faults.schedule import faults_scope
 
-        with faults_scope(faults) as schedule:
-            faults_spec = schedule.spec()
-            if sanitize:
-                outputs, summary = _run_sanitized()
-                return BatchResult(outputs, sanitize_summary=summary,
-                                   faults_spec=faults_spec)
-            return BatchResult(_run_all(), faults_spec=faults_spec)
+            with faults_scope(faults) as schedule:
+                faults_spec = schedule.spec()
+                if sanitize:
+                    outputs, summary = _run_sanitized()
+                    return BatchResult(outputs, sanitize_summary=summary,
+                                       faults_spec=faults_spec)
+                return BatchResult(_run_all(), faults_spec=faults_spec)
 
-    if not sanitize:
-        return BatchResult(_run_all())
-    outputs, summary = _run_sanitized()
-    return BatchResult(outputs, sanitize_summary=summary)
+        if not sanitize:
+            return BatchResult(_run_all())
+        outputs, summary = _run_sanitized()
+        return BatchResult(outputs, sanitize_summary=summary)
+
+    if replay is None:
+        return _run_batch()
+    from repro.perf.replay import perf_banner, replay_scope
+
+    with replay_scope(replay) as reports:
+        result = _run_batch()
+    if replay:
+        result.perf_summary = perf_banner(reports)
+    return result

@@ -112,7 +112,12 @@ class NpbBenchmark(abc.ABC):
             yield from comm.barrier()
             with comm.region(STEADY_REGION):
                 for it in range(bench.sim_iters):
-                    yield from bench.iteration(comm, it)
+                    yield from comm.iteration_scope(
+                        it,
+                        bench.sim_iters,
+                        lambda it=it: bench.iteration(comm, it),
+                        label=f"npb:{bench.name}",
+                    )
             return None
 
         program.__name__ = f"npb_{bench.name}"

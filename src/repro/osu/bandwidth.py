@@ -20,6 +20,18 @@ from repro.smpi import Placement, run_program
 WINDOW_SIZE = 64
 
 
+def _bw_iteration(comm, peer: int, size: int, window: int) -> _t.Generator:
+    """One window of non-blocking sends plus the short ack."""
+    if comm.rank == 0:
+        reqs = [comm.isend(peer, size, tag=i) for i in range(window)]
+        yield from comm.waitall(reqs)
+        yield from comm.recv(peer, tag=999)  # window ack
+    else:
+        reqs = [comm.irecv(peer, tag=i) for i in range(window)]
+        yield from comm.waitall(reqs)
+        yield from comm.send(peer, 4, tag=999)
+
+
 def _bw_program(
     comm, sizes: _t.Sequence[int], iterations: int, warmup: int, window: int
 ) -> _t.Generator:
@@ -29,18 +41,22 @@ def _bw_program(
         for phase, count in (("warmup", warmup), ("timed", iterations)):
             if phase == "timed":
                 t_start = comm.wtime()
-            for _ in range(count):
-                if comm.rank == 0:
-                    reqs = [comm.isend(peer, size, tag=i) for i in range(window)]
-                    yield from comm.waitall(reqs)
-                    yield from comm.recv(peer, tag=999)  # window ack
-                else:
-                    reqs = [comm.irecv(peer, tag=i) for i in range(window)]
-                    yield from comm.waitall(reqs)
-                    yield from comm.send(peer, 4, tag=999)
+            for i in range(count):
+                yield from comm.iteration_scope(
+                    i, count,
+                    lambda: _bw_iteration(comm, peer, size, window),
+                    label=f"bw:{size}:{phase}",
+                )
         elapsed = comm.wtime() - t_start
         results[size] = size * window * iterations / elapsed
     return results
+
+
+def _bibw_iteration(comm, peer: int, size: int, window: int) -> _t.Generator:
+    """One bidirectional window: both ranks send and receive."""
+    rreqs = [comm.irecv(peer, tag=i) for i in range(window)]
+    sreqs = [comm.isend(peer, size, tag=i) for i in range(window)]
+    yield from comm.waitall(rreqs + sreqs)
 
 
 def _bibw_program(
@@ -52,10 +68,12 @@ def _bibw_program(
         for phase, count in (("warmup", warmup), ("timed", iterations)):
             if phase == "timed":
                 t_start = comm.wtime()
-            for _ in range(count):
-                rreqs = [comm.irecv(peer, tag=i) for i in range(window)]
-                sreqs = [comm.isend(peer, size, tag=i) for i in range(window)]
-                yield from comm.waitall(rreqs + sreqs)
+            for i in range(count):
+                yield from comm.iteration_scope(
+                    i, count,
+                    lambda: _bibw_iteration(comm, peer, size, window),
+                    label=f"bibw:{size}:{phase}",
+                )
         elapsed = comm.wtime() - t_start
         # Both directions carried size*window bytes per iteration.
         results[size] = 2.0 * size * window * iterations / elapsed

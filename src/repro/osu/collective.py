@@ -26,8 +26,12 @@ def _allreduce_program(comm, sizes, iterations, warmup) -> _t.Generator:
             yield from comm.barrier()
             if phase == "timed":
                 t_start = comm.wtime()
-            for _ in range(count):
-                yield from comm.allreduce(size, value=0.0)
+            for i in range(count):
+                yield from comm.iteration_scope(
+                    i, count,
+                    lambda: comm.allreduce(size, value=0.0),
+                    label=f"allreduce:{size}:{phase}",
+                )
         results[size] = (comm.wtime() - t_start) / iterations
     return results
 
@@ -40,8 +44,12 @@ def _alltoall_program(comm, sizes, iterations, warmup) -> _t.Generator:
             yield from comm.barrier()
             if phase == "timed":
                 t_start = comm.wtime()
-            for _ in range(count):
-                yield from comm.alltoall(total)
+            for i in range(count):
+                yield from comm.iteration_scope(
+                    i, count,
+                    lambda: comm.alltoall(total),
+                    label=f"alltoall:{size}:{phase}",
+                )
         results[size] = (comm.wtime() - t_start) / iterations
     return results
 

@@ -9,23 +9,38 @@ from repro.platforms.base import PlatformSpec
 from repro.smpi import Placement, run_program
 
 
+def _pingpong(comm, peer: int, size: int) -> _t.Generator:
+    """One ping-pong round trip (rank 0 sends first, rank 1 echoes)."""
+    if comm.rank == 0:
+        yield from comm.send(peer, size)
+        yield from comm.recv(peer)
+    else:
+        yield from comm.recv(peer)
+        yield from comm.send(peer, size)
+
+
 def _latency_program(
     comm, sizes: _t.Sequence[int], iterations: int, warmup: int
 ) -> _t.Generator:
-    """The OSU ping-pong loop: rank 0 sends, rank 1 echoes."""
+    """The OSU ping-pong loop: rank 0 sends, rank 1 echoes.
+
+    The warm-up and timed phases are marked as *separate* steady loops
+    (distinct ``iteration_scope`` labels), so replay judges and
+    fast-forwards each phase independently and the timed measurement
+    never extrapolates from warm-up iterations.
+    """
     results: dict[int, float] = {}
     peer = 1 - comm.rank
     for size in sizes:
         for phase, count in (("warmup", warmup), ("timed", iterations)):
             if phase == "timed":
                 t_start = comm.wtime()
-            for _ in range(count):
-                if comm.rank == 0:
-                    yield from comm.send(peer, size)
-                    yield from comm.recv(peer)
-                else:
-                    yield from comm.recv(peer)
-                    yield from comm.send(peer, size)
+            for i in range(count):
+                yield from comm.iteration_scope(
+                    i, count,
+                    lambda: _pingpong(comm, peer, size),
+                    label=f"latency:{size}:{phase}",
+                )
         results[size] = (comm.wtime() - t_start) / (2.0 * iterations)
     return results
 

@@ -28,15 +28,24 @@ def _multi_lat_program(
         for phase, count in (("warmup", warmup), ("timed", iterations)):
             if phase == "timed":
                 t_start = comm.wtime()
-            for _ in range(count):
-                if sender:
-                    yield from comm.send(peer, size)
-                    yield from comm.recv(peer)
-                else:
-                    yield from comm.recv(peer)
-                    yield from comm.send(peer, size)
+            for i in range(count):
+                yield from comm.iteration_scope(
+                    i, count,
+                    lambda: _pair_pingpong(comm, sender, peer, size),
+                    label=f"multi_lat:{size}:{phase}",
+                )
         results[size] = (comm.wtime() - t_start) / (2.0 * iterations)
     return results
+
+
+def _pair_pingpong(comm, sender: bool, peer: int, size: int) -> _t.Generator:
+    """One round trip of one concurrent pair."""
+    if sender:
+        yield from comm.send(peer, size)
+        yield from comm.recv(peer)
+    else:
+        yield from comm.recv(peer)
+        yield from comm.send(peer, size)
 
 
 def osu_multi_lat(

@@ -1,4 +1,4 @@
-"""Performance infrastructure: deterministic sub-simulation memoization.
+"""Performance infrastructure: deterministic sub-simulation shortcuts.
 
 The hot loops of the simulator live in :mod:`repro.sim`; this package
 holds the layers *above* the engine that make repeated work cheap
@@ -8,6 +8,12 @@ without changing any result:
   cache for collective-operation costs keyed by the full analytic input
   (algorithm, topology context, message size), shared across the
   simulations of a sweep.
+* :mod:`repro.perf.replay` — steady-state iteration capture & replay:
+  once consecutive steady-loop iterations are provably identical on a
+  draw-free platform, the remaining ones are fast-forwarded analytically
+  instead of re-simulated.
+* :mod:`repro.perf.enginebench` — the engine dispatch-throughput
+  microbenchmark behind ``repro bench engine`` and ``BENCH_engine.json``.
 """
 
 from repro.perf.memo import (
@@ -16,10 +22,26 @@ from repro.perf.memo import (
     default_memo,
     memo_stats,
 )
+from repro.perf.replay import (
+    LoopStats,
+    ReplayRecorder,
+    ReplayReport,
+    deterministic_variant,
+    perf_banner,
+    replay_enabled,
+    replay_scope,
+)
 
 __all__ = [
     "CollectiveMemo",
+    "LoopStats",
+    "ReplayRecorder",
+    "ReplayReport",
     "clear_default_memo",
     "default_memo",
+    "deterministic_variant",
     "memo_stats",
+    "perf_banner",
+    "replay_enabled",
+    "replay_scope",
 ]

@@ -1,0 +1,260 @@
+"""Engine dispatch-throughput microbenchmark (``repro bench engine``).
+
+Measures events dispatched per second on four archetypal workloads —
+timeout-heavy, point-to-point ping-pong, allreduce collectives, and a
+replay-enabled NPB steady loop — so the sim-layer fast paths have
+dedicated before/after numbers.  The same workloads back three
+consumers:
+
+* ``python -m repro bench engine`` writes ``BENCH_engine.json`` and can
+  gate CI against a committed baseline (``--check``);
+* ``benchmarks/bench_arrivef_throughput.py`` runs them under pytest;
+* the replay workload additionally records how many engine events the
+  iteration fast-forward eliminates (``events_ratio``).
+
+Wall-clock timing here is host-side measurement of the simulator, not
+simulated time, hence the ``DET001`` lint waivers.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import typing as _t
+
+from repro.errors import ConfigError
+
+#: Replay-workload shape: CG class B on a quiet Vayu variant, iteration
+#: count high enough that fast-forward dominates.
+REPLAY_BENCH = "cg"
+REPLAY_NPROCS = 16
+REPLAY_SIM_ITERS = 16
+REPLAY_SEED = 7
+
+#: CI guard tolerance: a workload may lose up to this fraction of its
+#: baseline events/sec before the check fails (shared runners are noisy).
+DEFAULT_TOLERANCE = 0.30
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+# Each returns a finished Engine; callers divide ``engine.dispatched`` by
+# wall time.  Sizes are tuned so each workload runs a few hundred
+# milliseconds — long enough to swamp setup cost, short enough for CI.
+
+
+def workload_timeouts() -> _t.Any:
+    """Many processes doing nothing but numeric-yield sleeps."""
+    from repro.sim import Engine
+
+    def sleeper(reps: int, delay: float):
+        for _ in range(reps):
+            yield delay
+
+    engine = Engine(seed=7)
+    for i in range(200):
+        engine.process(sleeper(500, 1.0 + i * 1e-3), name=f"s{i}")
+    engine.run()
+    return engine
+
+
+def workload_p2p() -> _t.Any:
+    """Two ranks ping-ponging small messages."""
+    from repro.platforms import get_platform
+    from repro.smpi.world import MpiWorld
+
+    def pingpong(comm, reps: int, nbytes: int):
+        peer = 1 - comm.rank
+        for _ in range(reps):
+            if comm.rank == 0:
+                yield from comm.send(peer, nbytes)
+                yield from comm.recv(peer)
+            else:
+                yield from comm.recv(peer)
+                yield from comm.send(peer, nbytes)
+
+    world = MpiWorld(get_platform("vayu"), 2, seed=7)
+    world.launch(pingpong, 2000, 1024)
+    return world.engine
+
+
+def workload_collectives() -> _t.Any:
+    """Eight ranks in an allreduce loop."""
+    from repro.platforms import get_platform
+    from repro.smpi.world import MpiWorld
+
+    def loop(comm, reps: int, nbytes: int):
+        for _ in range(reps):
+            yield from comm.allreduce(nbytes, value=1.0)
+
+    world = MpiWorld(get_platform("vayu"), 8, seed=7)
+    world.launch(loop, 4000, 4096)
+    return world.engine
+
+
+def _replay_cg(replay: bool) -> tuple[_t.Any, _t.Any]:
+    """One CG steady-loop run with replay forced on or off."""
+    from repro.npb import get_benchmark
+    from repro.perf.replay import deterministic_variant
+    from repro.platforms import get_platform
+    from repro.smpi.world import MpiWorld
+
+    bench = get_benchmark(REPLAY_BENCH, sim_iters=REPLAY_SIM_ITERS)
+    spec = deterministic_variant(get_platform("vayu"))
+    world = MpiWorld(spec, REPLAY_NPROCS, seed=REPLAY_SEED, replay=replay)
+    result = world.launch(bench.make_program())
+    return world.engine, result
+
+
+def workload_replay() -> _t.Any:
+    """The replay-enabled NPB steady loop (iteration fast-forward on)."""
+    engine, _result = _replay_cg(True)
+    return engine
+
+
+#: workload -> (runner, minimum events for a meaningful rate).  A
+#: collective dispatches only a couple of engine events per operation
+#: (its cost is analytic), so its floor is lower than the p2p/timeout
+#: workloads where every hop is an event; the replay workload's floor is
+#: lower still because fast-forward removes most of its events.
+WORKLOADS: dict[str, tuple[_t.Callable[[], _t.Any], int]] = {
+    "timeouts": (workload_timeouts, 10_000),
+    "p2p": (workload_p2p, 10_000),
+    "collectives": (workload_collectives, 4_000),
+    "replay": (workload_replay, 2_000),
+}
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+def replay_event_counts() -> dict[str, float]:
+    """Replay's event-elimination figures: the same CG run with the
+    fast-forward off and on, and the resulting dispatch ratio."""
+    full_engine, _ = _replay_cg(False)
+    replay_engine, result = _replay_cg(True)
+    report = result.replay
+    return {
+        "full_events": full_engine.dispatched,
+        "replay_events": replay_engine.dispatched,
+        "events_ratio": full_engine.dispatched / replay_engine.dispatched,
+        "replayed_iters": 0 if report is None else report.replayed_iters,
+        "sim_iters": REPLAY_SIM_ITERS,
+    }
+
+
+def run_workload(name: str) -> dict[str, float]:
+    """Time one workload; returns its ``BENCH_engine.json`` row."""
+    try:
+        fn, min_events = WORKLOADS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown engine workload {name!r}; expected one of {sorted(WORKLOADS)}"
+        ) from None
+    t0 = time.perf_counter()  # lint-ok: DET001 host-side throughput timer
+    engine = fn()
+    seconds = time.perf_counter() - t0  # lint-ok: DET001 host-side throughput timer
+    events = engine.dispatched
+    if events <= min_events:
+        raise ConfigError(
+            f"{name} workload dispatched only {events} events "
+            f"(needs > {min_events} for a meaningful rate)"
+        )
+    return {
+        "events": events,
+        "seconds": seconds,
+        "events_per_sec": events / seconds if seconds else float("inf"),
+    }
+
+
+def run_engine_bench(
+    reps: int = 1, workloads: _t.Sequence[str] | None = None
+) -> dict[str, dict[str, float]]:
+    """Run the engine benchmark; ``{workload: row}`` sorted by name.
+
+    ``reps > 1`` repeats each workload and keeps the fastest rep (the
+    standard defence against cold caches and noisy neighbours — the
+    first rep doubles as warm-up).  The replay row additionally carries
+    the event-elimination figures from :func:`replay_event_counts`.
+    """
+    if reps < 1:
+        raise ConfigError(f"reps must be >= 1: {reps}")
+    names = sorted(workloads) if workloads is not None else sorted(WORKLOADS)
+    rows: dict[str, dict[str, float]] = {}
+    for name in names:
+        best: dict[str, float] | None = None
+        for _ in range(reps):
+            row = run_workload(name)
+            if best is None or row["events_per_sec"] > best["events_per_sec"]:
+                best = row
+        assert best is not None
+        if name == "replay":
+            best.update(replay_event_counts())
+        rows[name] = best
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Baseline guard and export
+# ---------------------------------------------------------------------------
+
+def check_against_baseline(
+    rows: dict[str, dict[str, float]],
+    baseline: dict[str, dict[str, float]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Regression messages for workloads slower than ``baseline``.
+
+    A workload regresses when its ``events_per_sec`` falls more than
+    ``tolerance`` (fractional) below the baseline's; workloads missing
+    from either side are skipped, so adding a workload never breaks an
+    old baseline.  Returns an empty list when everything holds up.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ConfigError(f"tolerance must be in [0, 1): {tolerance}")
+    failures = []
+    for name in sorted(set(rows) & set(baseline)):
+        base_rate = baseline[name].get("events_per_sec")
+        rate = rows[name].get("events_per_sec")
+        if not base_rate or rate is None:
+            continue
+        floor = base_rate * (1.0 - tolerance)
+        if rate < floor:
+            failures.append(
+                f"{name}: {rate:,.0f} ev/s is {100 * (1 - rate / base_rate):.0f}% "
+                f"below baseline {base_rate:,.0f} ev/s "
+                f"(tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def load_rows(path: str | pathlib.Path) -> dict[str, dict[str, float]]:
+    """Read a ``BENCH_engine.json`` baseline."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ConfigError(f"{path}: expected a workload->row mapping")
+    return data
+
+
+def write_rows(
+    rows: dict[str, dict[str, float]], path: str | pathlib.Path
+) -> None:
+    """Write benchmark rows as ``BENCH_engine.json`` (stable key order)."""
+    pathlib.Path(path).write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+
+
+def render_rows(rows: dict[str, dict[str, float]]) -> str:
+    """One line per workload, for the CLI."""
+    lines = []
+    for name, row in sorted(rows.items()):
+        line = f"{name:<12} {row['events_per_sec']:>12,.0f} ev/s  ({row['events']:,.0f} events)"
+        if "events_ratio" in row:
+            line += (
+                f"  [fast-forward {row['events_ratio']:.1f}x fewer events, "
+                f"{row['replayed_iters']:.0f}/{row['sim_iters']:.0f} iters replayed]"
+            )
+        lines.append(line)
+    return "\n".join(lines)

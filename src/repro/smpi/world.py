@@ -28,6 +28,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.sanitizer import SanitizerReport
     from repro.faults.report import ResilienceReport
     from repro.faults.schedule import FaultSchedule
+    from repro.perf.replay import ReplayReport
     from repro.smpi.comm import Comm
 
 
@@ -78,6 +79,17 @@ class MpiWorld:
         installs a :class:`~repro.faults.FaultInjector`; with no
         schedule every fault hook is a pure pass-through and the run is
         bit-identical to one built before the fault layer existed.
+    replay:
+        Attach the steady-state iteration recorder
+        (:class:`~repro.perf.replay.ReplayRecorder`): marked steady
+        loops whose iterations prove stationary on a draw-free platform
+        are fast-forwarded analytically instead of re-simulated.
+        ``None`` (the default) defers to the scope/env default
+        (:func:`repro.perf.replay.replay_enabled`).  The recorder
+        auto-falls-back to full simulation whenever the sanitizer, the
+        fault injector, tracing or a stochastic platform model is
+        present — replay is a pure optimization, never a semantics
+        change.
     """
 
     def __init__(
@@ -90,6 +102,7 @@ class MpiWorld:
         memo: CollectiveMemo | None = None,
         sanitize: bool | None = None,
         faults: "FaultSchedule | str | None" = None,
+        replay: bool | None = None,
     ) -> None:
         if isinstance(platform, PlatformSpec):
             self.engine = Engine(seed=seed)
@@ -127,6 +140,13 @@ class MpiWorld:
         from repro.ipm.timeline import Timeline
 
         self.timeline = Timeline(nprocs) if timeline else None
+        # The replay recorder is constructed last so every disqualifier
+        # (sanitizer, injector, timeline, engine tracer) is already known.
+        from repro.perf.replay import ReplayRecorder, replay_enabled
+
+        if replay is None:
+            replay = replay_enabled()
+        self.replay = ReplayRecorder(self) if replay else None
 
     def record_interval(
         self, rank: int, start: float, end: float, kind: str, label: str
@@ -407,6 +427,9 @@ class MpiWorld:
             rank_results=[p.value for p in procs],
             sanitizer_report=report,
             resilience=injector.finalize_report() if injector is not None else None,
+            replay=(
+                self.replay.finalize_report() if self.replay is not None else None
+            ),
         )
 
 
@@ -421,6 +444,9 @@ class RunResult:
     sanitizer_report: "SanitizerReport | None" = None
     #: What the fault layer injected (None when no schedule was installed).
     resilience: "ResilienceReport | None" = None
+    #: What the iteration recorder captured/fast-forwarded (None when
+    #: replay was not requested for this world).
+    replay: "ReplayReport | None" = None
 
     @property
     def monitor(self) -> IpmMonitor:

@@ -32,6 +32,9 @@ class VmwareEsx(Hypervisor):
     masks_numa = True
     exposes_smt_as_cores = False
     system_time_share = 0.85
+    #: vSwitch scheduling delays and timeslice noise are sampled per
+    #: message/burst.
+    deterministic = False
     #: Stolen-time windows hit ESX guests harder than the raw CPU-share
     #: arithmetic: the vSwitch service is co-scheduled with guest vCPUs,
     #: so while the CPU is stolen, pending network servicing backs up too

@@ -30,6 +30,8 @@ class XenHvm(Hypervisor):
     masks_numa = True
     exposes_smt_as_cores = True
     system_time_share = 0.6
+    #: Scheduler delays and HT jitter are sampled per message/burst.
+    deterministic = False
     #: With SMT siblings exposed as vCPUs, a stolen sibling degrades the
     #: co-resident thread as well, so steal windows cost slightly more
     #: than their CPU share alone.
