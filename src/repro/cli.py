@@ -13,7 +13,21 @@ Commands
     ``--faults <spec>`` injects a fault schedule into every world,
     ``--replay``/``--no-replay`` control steady-iteration fast-forward,
     ``--sim-iters N`` overrides the NPB steady-loop length,
+    ``--supervise``/``--timeout``/``--retries`` run sweep cells under
+    the supervised harness (watchdog, bounded retries, degrade),
+    ``--journal PATH`` appends completed cells to a crash-safe JSONL
+    journal and ``--resume PATH`` skips cells already journaled there,
     ``--json``/``--csv``/``--out`` export results.
+
+Exit codes
+----------
+``0``
+    Success — every requested cell/experiment completed.
+``3``
+    Partial — some supervised sweep cells ultimately failed, but the
+    report rendered with explicit ``FAILED(<cause>)`` entries.
+``1``
+    Fatal — bad configuration or an unhandled failure; no report.
 ``bench engine``
     Engine dispatch-throughput microbenchmark; writes
     ``BENCH_engine.json`` and can gate against a baseline (``--check``).
@@ -54,6 +68,32 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _supervisor_policy(args: argparse.Namespace) -> "_t.Any | None":
+    """Build a SupervisorPolicy from CLI flags (None: unsupervised).
+
+    Any supervision-related flag implies supervision; ``--resume``
+    keeps journaling into the resumed file unless ``--journal`` names a
+    different one.
+    """
+    wanted = (
+        args.supervise
+        or args.timeout is not None
+        or args.retries is not None
+        or args.journal_path
+        or args.resume
+    )
+    if not wanted:
+        return None
+    from repro.harness.supervisor import SupervisorPolicy
+
+    return SupervisorPolicy(
+        timeout=args.timeout,
+        retries=1 if args.retries is None else args.retries,
+        journal=args.journal_path or args.resume or None,
+        resume=args.resume or None,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.harness.experiments import EXPERIMENTS
     from repro.harness.runner import run_batch
@@ -63,9 +103,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ids, quick=not args.full, seed=args.seed, jobs=args.jobs,
         sanitize=args.sanitize, faults=args.faults,
         replay=args.replay, sim_iters=args.sim_iters,
+        supervisor=_supervisor_policy(args),
         progress=lambda eid: print(f"[running] {eid}", file=sys.stderr),
     )
     print(batch.render())
+    if batch.harness_summary:
+        print(f"[{batch.harness_summary}]", file=sys.stderr)
     if args.json:
         batch.write_json(args.json)
         print(f"[written] {args.json}", file=sys.stderr)
@@ -75,7 +118,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out:
         batch.write_text(args.out)
         print(f"[written] {args.out}", file=sys.stderr)
-    return 0
+    return 3 if batch.failures else 0
 
 
 def _cmd_osu(args: argparse.Namespace) -> int:
@@ -136,12 +179,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
             jobs=args.jobs,
+            supervisor=_supervisor_policy(args),
         )
         if args.json:
             print(json.dumps(result.to_dict(), indent=2))
         else:
             print(result.render())
-        return 0
+        if result.harness_summary:
+            print(f"[{result.harness_summary}]", file=sys.stderr)
+        return 3 if result.failures else 0
     raise AssertionError(f"unhandled faults subcommand {args.faults_command!r}")
 
 
@@ -186,10 +232,51 @@ def _cmd_npb(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    """Shared supervised-harness flags for sweep-running commands."""
+    parser.add_argument(
+        "--supervise", action="store_true",
+        help="run sweep cells under the supervised harness: watchdog "
+             "timeouts, bounded retries, and degradation of broken-pool "
+             "cells to inline execution (also via REPRO_SUPERVISE=1); "
+             "cells that still fail render as FAILED(<cause>) entries "
+             "and the command exits 3",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-sweep watchdog window in seconds: if no cell completes "
+             "for S seconds the hung workers are killed and their cells "
+             "retried (needs --jobs >= 2; implies --supervise)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="additional attempts per failing/hung cell (default 1; "
+             "implies --supervise)",
+    )
+    parser.add_argument(
+        "--journal", dest="journal_path", default=None, metavar="PATH",
+        help="append each completed cell to a crash-safe JSONL run "
+             "journal at PATH (implies --supervise)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="skip cells already completed in PATH's journal and merge "
+             "their results by key — the report is byte-identical to an "
+             "uninterrupted run; keeps journaling into PATH (implies "
+             "--supervise)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="HPC/private/public-cloud performance study framework",
+        epilog="exit codes: 0 success (all cells ok); 3 partial — some "
+               "sweep cells failed but the report rendered with "
+               "FAILED(<cause>) entries; 1 fatal error (bad "
+               "configuration or unhandled failure). `repro verify`, "
+               "`repro lint` and `repro bench engine --check` keep "
+               "exit 1 for their own failed-check verdicts.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -229,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--sim-iters", type=int, default=None, metavar="N",
         help="override the NPB steady-loop iteration count (N >= 1)",
     )
+    _add_supervision_args(run)
     run.add_argument("--json", help="export comparisons as JSON")
     run.add_argument("--csv", help="export comparisons as CSV")
     run.add_argument("--out", help="write the text report to a file")
@@ -270,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for sweep cells (0 = all CPUs); output is "
              "identical to --jobs 1",
     )
+    _add_supervision_args(sweep)
     sweep.add_argument("--json", action="store_true", help="JSON output")
 
     lint = sub.add_parser(
@@ -341,8 +430,10 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
+        # Fatal: bad configuration or an unhandled failure (exit 1);
+        # partial supervised sweeps return 3 from the command itself.
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 1
     except BrokenPipeError:  # e.g. piping into `head`
         return 0
 

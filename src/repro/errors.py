@@ -118,6 +118,52 @@ class SanitizerError(MpiError):
         super().__init__(message)
 
 
+class CellExecutionError(ReproError):
+    """One sweep cell ultimately failed under the parallel harness.
+
+    Carries the cell ``key`` and registered ``worker`` name, the number
+    of execution ``attempts`` made, the classified ``cause`` — one of
+    ``"timeout"`` (no completion within the supervisor's watchdog
+    window), ``"worker-death"`` (the pool process hosting the cell
+    died), or ``"worker-exception"`` (the worker function raised) — and
+    ``detail`` (traceback text or a one-line explanation).
+
+    Raised directly by :func:`repro.harness.parallel.run_cells` when an
+    unsupervised process pool breaks, so callers see the offending cell
+    instead of an opaque ``concurrent.futures`` traceback; under
+    supervision (:mod:`repro.harness.supervisor`) one instance per
+    exhausted cell is collected onto the
+    :class:`~repro.harness.supervisor.SweepReport` instead of aborting
+    the sweep.
+    """
+
+    #: The recognised failure classifications.
+    CAUSES = ("timeout", "worker-death", "worker-exception")
+
+    def __init__(
+        self,
+        key: _t.Sequence[_t.Any],
+        worker: str,
+        attempts: int,
+        cause: str,
+        detail: str = "",
+        message: str | None = None,
+    ) -> None:
+        self.key = tuple(key)
+        self.worker = worker
+        self.attempts = attempts
+        self.cause = cause
+        self.detail = detail
+        if message is None:
+            message = (
+                f"cell {self.key!r} [{worker}] failed after {attempts} "
+                f"attempt(s): {cause}"
+            )
+            if detail:
+                message += f"\n{detail}"
+        super().__init__(message)
+
+
 class ConfigError(ReproError):
     """Invalid platform, benchmark or experiment configuration."""
 

@@ -14,8 +14,14 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from repro.errors import ConfigError
+from repro.errors import CellExecutionError, ConfigError
 from repro.harness.parallel import Cell, run_cells
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.supervisor import SupervisorPolicy
+
+#: Journal namespace for ``repro faults sweep`` cells.
+SWEEP_NAMESPACE = "faults-sweep"
 
 
 @dataclasses.dataclass(slots=True)
@@ -31,6 +37,17 @@ class SweepResult:
     intervals: tuple[float, ...]
     #: ``(rate, interval) -> {"completion_time", "restarts", "wasted_work"}``
     cells: dict[tuple[float, float], dict[str, float]]
+    #: Cells that exhausted their supervised attempts (empty unless the
+    #: sweep ran supervised *and* something actually failed); rendered
+    #: as explicit ``FAILED(<cause>)`` grid entries.
+    failures: dict[tuple[float, float], CellExecutionError] = dataclasses.field(
+        default_factory=dict
+    )
+    #: One-line ``harness: ...`` banner (None unsupervised).  Not part
+    #: of :meth:`render`/:meth:`to_dict` — its journal-hit/retry tallies
+    #: differ between a resumed and an uninterrupted run, and both must
+    #: produce byte-identical reports.  The CLI prints it to stderr.
+    harness_summary: str | None = None
 
     def render(self) -> str:
         """Fixed-width grid of mean time-to-completion (s); one row per
@@ -47,18 +64,30 @@ class SweepResult:
         for rate in self.rates:
             row = f"{rate:<14g}"
             for interval in self.intervals:
-                row += f"{self.cells[(rate, interval)]['completion_time']:>12.2f}"
+                key = (rate, interval)
+                if key in self.failures:
+                    row += f"{'FAILED(' + self.failures[key].cause + ')':>12}"
+                else:
+                    row += f"{self.cells[key]['completion_time']:>12.2f}"
             lines.append(row)
-        best = min(
-            self.cells.items(), key=lambda kv: (kv[1]["completion_time"], kv[0])
-        )
-        (rate, interval), stats = best
-        lines.append(
-            f"# best cell: rate={rate:g}, interval={interval:g} -> "
-            f"{stats['completion_time']:.2f} s "
-            f"({stats['restarts']:.2f} restart(s), "
-            f"{stats['wasted_work']:.2f} s wasted)"
-        )
+        if self.cells:
+            best = min(
+                self.cells.items(), key=lambda kv: (kv[1]["completion_time"], kv[0])
+            )
+            (rate, interval), stats = best
+            lines.append(
+                f"# best cell: rate={rate:g}, interval={interval:g} -> "
+                f"{stats['completion_time']:.2f} s "
+                f"({stats['restarts']:.2f} restart(s), "
+                f"{stats['wasted_work']:.2f} s wasted)"
+            )
+        else:
+            lines.append("# no successful cells")
+        for (rate, interval), err in sorted(self.failures.items()):
+            lines.append(
+                f"# failed cell: rate={rate:g}, interval={interval:g} -> "
+                f"{err.cause} after {err.attempts} attempt(s)"
+            )
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, _t.Any]:
@@ -74,6 +103,11 @@ class SweepResult:
                 {"rate": r, "interval": i, **stats}
                 for (r, i), stats in sorted(self.cells.items())
             ],
+            "failures": [
+                {"rate": r, "interval": i, "cause": err.cause,
+                 "attempts": err.attempts}
+                for (r, i), err in sorted(self.failures.items())
+            ],
         }
 
 
@@ -87,8 +121,19 @@ def sweep_failure_checkpoint(
     trials: int = 32,
     seed: int = 1,
     jobs: int = 1,
+    supervisor: "SupervisorPolicy | None" = None,
 ) -> SweepResult:
-    """Sweep the checkpoint/restart model over ``rates x intervals``."""
+    """Sweep the checkpoint/restart model over ``rates x intervals``.
+
+    ``supervisor`` runs the grid under the supervised harness
+    (:mod:`repro.harness.supervisor`): hung or crashed cells are
+    retried/degraded per the policy, cells that exhaust their attempts
+    land in :attr:`SweepResult.failures` as ``FAILED(<cause>)`` grid
+    entries instead of aborting, and journal/resume paths from the
+    policy make the sweep resumable (journal keys are namespaced
+    ``faults-sweep``).  A clean supervised sweep renders byte-identical
+    output to an unsupervised one.
+    """
     if not rates or not intervals:
         raise ConfigError("faults sweep needs at least one rate and one interval")
     if trials < 1:
@@ -106,7 +151,19 @@ def sweep_failure_checkpoint(
         for rate in rates
         for interval in intervals
     ]
-    results = run_cells(cells, jobs=jobs)
+    failures: dict[tuple[float, float], CellExecutionError] = {}
+    harness_summary: str | None = None
+    if supervisor is not None:
+        from repro.harness.supervisor import run_cells_supervised
+
+        report = run_cells_supervised(
+            cells, jobs=jobs, policy=supervisor, namespace=SWEEP_NAMESPACE
+        )
+        results = report.results
+        failures = report.failures
+        harness_summary = report.banner()
+    else:
+        results = run_cells(cells, jobs=jobs)
     return SweepResult(
         work=float(work),
         checkpoint_cost=float(checkpoint_cost),
@@ -116,4 +173,6 @@ def sweep_failure_checkpoint(
         rates=tuple(float(r) for r in rates),
         intervals=tuple(float(i) for i in intervals),
         cells=dict(results),
+        failures=failures,
+        harness_summary=harness_summary,
     )

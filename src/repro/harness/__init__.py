@@ -15,13 +15,23 @@ Usage::
 
 from repro.harness.experiments import EXPERIMENTS, ExperimentOutput, run_experiment
 from repro.harness.figures import render_series_table, render_speedup_plot
+from repro.harness.supervisor import (
+    SupervisorPolicy,
+    SweepReport,
+    run_cells_supervised,
+    supervision_scope,
+)
 from repro.harness import paper
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentOutput",
+    "SupervisorPolicy",
+    "SweepReport",
     "paper",
     "render_series_table",
     "render_speedup_plot",
+    "run_cells_supervised",
     "run_experiment",
+    "supervision_scope",
 ]

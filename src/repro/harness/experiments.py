@@ -364,26 +364,33 @@ def exp_tab3(
     sim_iters: int | None = None,
 ) -> ExperimentOutput:
     """Table III: UM statistics at 32 cores."""
-    bench = MetumBenchmark(sim_steps=2 if quick else 3)
-    results = {}
-    for label, spec, nodes in _um_variants():
-        nn = nodes
+    sim_steps = 2 if quick else 3
+
+    def _nn(label: str, nodes: int | None) -> int | None:
         if label == "EC2" and nodes is None:
-            nn = 2
-        results[label] = bench.run(spec, 32, num_nodes=nn, seed=seed)
-    ref = results["Vayu"]
-    ref_comp, ref_comm = ref.compute_time(), ref.comm_time()
+            return 2
+        return nodes
+
+    cells = [
+        Cell((label,), "metum_stats",
+             (spec.name, 32, _nn(label, nodes), seed, sim_steps))
+        for label, spec, nodes in _um_variants()
+    ]
+    points = run_cells(cells, jobs=jobs)
+    ref = points[("Vayu",)]
+    ref_comp, ref_comm = ref["comp"], ref["comm"]
     rows = []
     comparisons = []
-    for label, r in results.items():
+    for label, _spec, _nodes in _um_variants():
+        r = points[(label,)]
         stats = SectionStats(
             platform=label,
-            time=r.total_time,
-            rcomp=r.compute_time() / ref_comp,
-            rcomm=r.comm_time() / ref_comm if ref_comm > 0 else 0.0,
-            comm_percent=r.comm_percent(),
-            imbalance_percent=r.imbalance_percent(),
-            io_time=r.io_time,
+            time=r["time"],
+            rcomp=r["comp"] / ref_comp,
+            rcomm=r["comm"] / ref_comm if ref_comm > 0 else 0.0,
+            comm_percent=r["comm_percent"],
+            imbalance_percent=r["imbalance_percent"],
+            io_time=r["io"],
         )
         rows.append(stats)
         p = paper.TABLE3_UM_32[label]

@@ -1,0 +1,205 @@
+"""Crash-safe append-only run journal for supervised sweeps.
+
+The journal is a JSONL file: one self-contained record per line, each
+flushed and fsynced as it is written, so a run killed at any instant
+loses at most the line that was mid-write.  ``repro run --resume PATH``
+(and ``run_cells_supervised(..., resume=)`` via
+:class:`~repro.harness.supervisor.SupervisorPolicy`) loads the journal
+and skips every cell whose key *and* payload hash match a completed
+record, merging the journaled result by key — because cells are
+deterministic, a resumed sweep renders byte-identically to an
+uninterrupted one.
+
+Record kinds
+------------
+``cell``
+    A completed cell: namespace (experiment id / sweep name), cell key,
+    worker name, payload hash (over ``(worker, args)``) and the result.
+``event``
+    Supervision bookkeeping (retries, degradations) for postmortems;
+    ignored on resume.
+
+Cell keys and results may contain tuples and non-string dict keys
+(e.g. the OSU curves are ``dict[int, float]``), which plain JSON cannot
+represent, so values round-trip through a small typed encoding
+(:func:`encode_value` / :func:`decode_value`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import typing as _t
+
+from repro.errors import ConfigError
+
+#: Bump when the record layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Typed JSON encoding
+# ---------------------------------------------------------------------------
+
+def encode_value(obj: _t.Any) -> _t.Any:
+    """JSON-encodable form of ``obj`` that survives a round trip.
+
+    Tuples become ``{"__tuple__": [...]}`` and dicts with non-string
+    (or marker-colliding) keys become ``{"__dict__": [[k, v], ...]}``;
+    everything else must already be JSON-representable.
+    """
+    if isinstance(obj, tuple):
+        return {"__tuple__": [encode_value(v) for v in obj]}
+    if isinstance(obj, list):
+        return [encode_value(v) for v in obj]
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) and not k.startswith("__") for k in obj):
+            return {k: encode_value(v) for k, v in obj.items()}
+        return {
+            "__dict__": [[encode_value(k), encode_value(v)] for k, v in obj.items()]
+        }
+    return obj
+
+
+def decode_value(obj: _t.Any) -> _t.Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(obj, list):
+        return [decode_value(v) for v in obj]
+    if isinstance(obj, dict):
+        if set(obj) == {"__tuple__"}:
+            return tuple(decode_value(v) for v in obj["__tuple__"])
+        if set(obj) == {"__dict__"}:
+            return {decode_value(k): decode_value(v) for k, v in obj["__dict__"]}
+        return {k: decode_value(v) for k, v in obj.items()}
+    return obj
+
+
+def payload_hash(worker: str, args: _t.Sequence[_t.Any]) -> str:
+    """Stable digest of a cell's full payload (worker name + arguments).
+
+    Guards resume against key collisions: a journal entry is only
+    reused when the cell would re-run the exact same computation.
+    """
+    blob = json.dumps(
+        [worker, encode_value(tuple(args))], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Journal file
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class JournalEntry:
+    """One completed cell loaded from a journal."""
+
+    namespace: str
+    key: tuple
+    worker: str
+    payload_hash: str
+    result: _t.Any
+
+
+class RunJournal:
+    """Append-only JSONL journal of completed cells.
+
+    Open for the lifetime of one supervised batch; every record is
+    flushed and fsynced immediately so an abrupt kill cannot lose a
+    completed cell (only, at worst, a torn final line, which
+    :func:`load_journal` tolerates).
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: _t.TextIO | None = open(self.path, "a", encoding="utf-8")
+
+    def record_cell(
+        self, namespace: str, key: tuple, worker: str, digest: str, result: _t.Any
+    ) -> None:
+        """Journal one completed cell."""
+        self._write({
+            "kind": "cell",
+            "v": FORMAT_VERSION,
+            "ns": namespace,
+            "key": encode_value(tuple(key)),
+            "worker": worker,
+            "hash": digest,
+            "result": encode_value(result),
+        })
+
+    def record_event(
+        self, namespace: str, key: tuple, event: str, **fields: _t.Any
+    ) -> None:
+        """Journal a supervision event (retry, degrade); ignored on resume."""
+        self._write({
+            "kind": "event",
+            "v": FORMAT_VERSION,
+            "ns": namespace,
+            "key": encode_value(tuple(key)),
+            "event": event,
+            **fields,
+        })
+
+    def _write(self, record: dict[str, _t.Any]) -> None:
+        if self._fh is None:
+            raise ConfigError(f"journal {self.path} is closed")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: _t.Any) -> None:
+        self.close()
+
+
+def load_journal(path: str | pathlib.Path) -> dict[tuple[str, tuple], JournalEntry]:
+    """Load completed cells from ``path``, keyed by ``(namespace, key)``.
+
+    A torn final line (the signature of a killed run) is silently
+    dropped; corruption anywhere else raises :class:`ConfigError`.  When
+    a cell appears more than once (a resumed run appending to its own
+    journal) the last record wins.
+    """
+    p = pathlib.Path(path)
+    if not p.exists():
+        raise ConfigError(f"resume journal not found: {p}")
+    entries: dict[tuple[str, tuple], JournalEntry] = {}
+    lines = p.read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # torn final write from a killed run
+            raise ConfigError(f"corrupt journal record at {p}:{lineno}") from None
+        if not isinstance(rec, dict) or rec.get("kind") != "cell":
+            continue
+        try:
+            ns = rec["ns"]
+            key = decode_value(rec["key"])
+            entry = JournalEntry(
+                namespace=ns,
+                key=key,
+                worker=rec["worker"],
+                payload_hash=rec["hash"],
+                result=decode_value(rec["result"]),
+            )
+        except (KeyError, TypeError):
+            raise ConfigError(f"malformed journal record at {p}:{lineno}") from None
+        entries[(ns, key)] = entry
+    return entries

@@ -14,16 +14,25 @@ Workers are plain module-level functions (registered with
 :func:`cell_worker`) taking only picklable primitives and returning
 plain dicts/floats — the contract that keeps cells cheap to ship to a
 ``ProcessPoolExecutor`` and trivially deterministic to merge.
+
+Supervision (watchdog timeouts, bounded retries, degradation to inline
+execution, journal/resume) layers on top of this module without
+changing it from the caller's point of view: when a
+:func:`repro.harness.supervisor.supervision_scope` is active — or
+``REPRO_SUPERVISE=1`` is set — :func:`run_cells` routes through the
+supervisor and still returns the same ``{key: result}`` mapping.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import tempfile
 import typing as _t
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.errors import ConfigError
+from repro.errors import CellExecutionError, ConfigError
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -69,8 +78,45 @@ def cell_worker(name: str) -> _t.Callable[[_t.Callable], _t.Callable]:
     return deco
 
 
+#: True only in a process-pool worker (set by :func:`_pool_worker_init`).
+_IS_POOL_WORKER = False
+
+
+def _pool_worker_init() -> None:
+    """Pool-worker initializer: mark this process as a pool worker."""
+    global _IS_POOL_WORKER
+    _IS_POOL_WORKER = True
+
+
+def _maybe_chaos_kill() -> None:
+    """Test/CI chaos hook: kill one pool worker once per marker file.
+
+    When ``REPRO_CHAOS_KILL`` is set, the first pool worker to claim the
+    marker file (the variable's value, or a tempdir default for ``1``)
+    exits abruptly mid-cell — simulating a real worker death so the
+    chaos CI job can assert the supervisor retries/degrades the affected
+    cells and the sweep still completes.  Never fires in the supervising
+    process itself, and is a no-op when the variable is unset.
+    """
+    spec = os.environ.get("REPRO_CHAOS_KILL")
+    if not spec or not _IS_POOL_WORKER:
+        return
+    marker = spec
+    if spec in ("1", "true"):
+        marker = os.path.join(
+            tempfile.gettempdir(), f"repro-chaos-kill-{os.getppid()}"
+        )
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    os._exit(17)
+
+
 def _execute(cell: Cell) -> _t.Any:
     """Run one cell (in this process or a pool worker)."""
+    _maybe_chaos_kill()
     try:
         fn = _WORKERS[cell.worker]
     except KeyError:
@@ -78,6 +124,24 @@ def _execute(cell: Cell) -> _t.Any:
             f"unknown cell worker {cell.worker!r}; available: {sorted(_WORKERS)}"
         ) from None
     return fn(*cell.args)
+
+
+def check_unique_keys(cells: _t.Sequence[Cell]) -> None:
+    """Reject duplicate cell keys up front.
+
+    A duplicate key would silently overwrite the earlier cell's result
+    during the key-ordered merge, so it is a configuration error in
+    every execution mode (serial, pooled, supervised, resumed).
+    """
+    keys = [c.key for c in cells]
+    if len(set(keys)) != len(keys):
+        seen: set[tuple] = set()
+        dupes: list[tuple] = []
+        for k in keys:
+            if k in seen and k not in dupes:
+                dupes.append(k)
+            seen.add(k)
+        raise ConfigError(f"duplicate cell keys: {dupes}")
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -93,24 +157,46 @@ def run_cells(cells: _t.Sequence[Cell], jobs: int = 1) -> dict[tuple, _t.Any]:
     With ``jobs > 1`` the cells fan out over a process pool; the result
     mapping is always assembled in the order the cells were given, so
     downstream rendering is independent of scheduling.  A failing cell
-    re-raises its exception here, whichever process it ran in.
+    re-raises its exception here, whichever process it ran in; a dying
+    *worker process* surfaces as a structured
+    :class:`~repro.errors.CellExecutionError` naming the offending cell
+    instead of an opaque ``BrokenProcessPool`` traceback.
+
+    Under an active supervision scope (or ``REPRO_SUPERVISE=1``) the
+    cells run through :mod:`repro.harness.supervisor` instead — same
+    mapping, same values, plus watchdog/retry/degrade/journal handling.
     """
+    from repro.harness import supervisor as _supervisor
+
+    supervised = _supervisor.supervised_results(cells, jobs)
+    if supervised is not None:
+        return supervised
     cells = list(cells)
-    keys = [c.key for c in cells]
-    if len(set(keys)) != len(keys):
-        seen: set[tuple] = set()
-        dupes: list[tuple] = []
-        for k in keys:
-            if k in seen and k not in dupes:
-                dupes.append(k)
-            seen.add(k)
-        raise ConfigError(f"duplicate cell keys: {dupes}")
+    check_unique_keys(cells)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(cells) <= 1:
         return {c.key: _execute(c) for c in cells}
-    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(cells)), initializer=_pool_worker_init
+    ) as pool:
         futures = [pool.submit(_execute, c) for c in cells]
-        return {c.key: f.result() for c, f in zip(cells, futures)}
+        out: dict[tuple, _t.Any] = {}
+        for c, f in zip(cells, futures):
+            try:
+                out[c.key] = f.result()
+            except BrokenProcessPool as exc:
+                raise CellExecutionError(
+                    key=c.key,
+                    worker=c.worker,
+                    attempts=1,
+                    cause="worker-death",
+                    detail=(
+                        f"{exc} (a pool worker process died; run under "
+                        "supervision — --supervise / REPRO_SUPERVISE=1 — "
+                        "to retry or degrade instead of aborting)"
+                    ),
+                ) from exc
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -189,6 +275,27 @@ def metum_point(
         get_platform(platform), nprocs, num_nodes=num_nodes, seed=seed
     )
     return {"warmed_time": r.warmed_time, "total_time": r.total_time}
+
+
+@cell_worker("metum_stats")
+def metum_stats(
+    platform: str, nprocs: int, num_nodes: int | None, seed: int, sim_steps: int
+) -> dict[str, float]:
+    """One UM run reduced to the Table-III section statistics."""
+    from repro.apps.metum import MetumBenchmark
+    from repro.platforms import get_platform
+
+    r = MetumBenchmark(sim_steps=sim_steps).run(
+        get_platform(platform), nprocs, num_nodes=num_nodes, seed=seed
+    )
+    return {
+        "time": r.total_time,
+        "comp": r.compute_time(),
+        "comm": r.comm_time(),
+        "comm_percent": r.comm_percent(),
+        "imbalance_percent": r.imbalance_percent(),
+        "io": r.io_time,
+    }
 
 
 @cell_worker("arrivef_point")

@@ -14,8 +14,11 @@ import json
 import pathlib
 import typing as _t
 
-from repro.errors import ConfigError
+from repro.errors import CellExecutionError, ConfigError
 from repro.harness.experiments import EXPERIMENTS, ExperimentOutput, run_experiment
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.supervisor import SupervisorPolicy
 
 
 @dataclasses.dataclass(slots=True)
@@ -29,6 +32,16 @@ class BatchResult:
     faults_spec: str | None = None
     #: One-line memo/replay banner (None unless ``replay=True`` was asked).
     perf_summary: str | None = None
+    #: One-line ``harness: ...`` supervision banner (None unsupervised).
+    #: Deliberately *not* part of :meth:`render` — its retry/journal-hit
+    #: tallies vary between an interrupted-and-resumed run and a clean
+    #: one, and the rendered report must stay byte-identical across
+    #: both.  The CLI prints it to stderr.
+    harness_summary: str | None = None
+    #: Experiments whose sweep cells ultimately failed, by experiment id.
+    #: Their outputs render as explicit ``FAILED(<cause>)`` entries and
+    #: the CLI exits 3 ("partial") when this is non-empty.
+    failures: dict[str, CellExecutionError] = dataclasses.field(default_factory=dict)
 
     def render(self) -> str:
         body = "\n\n".join(o.render() for o in self.outputs.values())
@@ -77,6 +90,18 @@ class BatchResult:
         pathlib.Path(path).write_text(self.render() + "\n")
 
 
+def _failed_output(eid: str, err: CellExecutionError) -> ExperimentOutput:
+    """Render an experiment whose cells ultimately failed as an explicit
+    ``FAILED(<cause>)`` entry instead of dying mid-batch."""
+    first_line = str(err).splitlines()[0]
+    return ExperimentOutput(
+        experiment_id=eid,
+        title=f"FAILED({err.cause})",
+        data={"error": str(err), "cell_key": err.key, "attempts": err.attempts},
+        text=f"FAILED({err.cause}): {first_line}",
+    )
+
+
 def run_batch(
     experiment_ids: _t.Sequence[str] | None = None,
     *,
@@ -87,6 +112,7 @@ def run_batch(
     faults: str | None = None,
     replay: bool | None = None,
     sim_iters: int | None = None,
+    supervisor: "SupervisorPolicy | None" = None,
     progress: _t.Callable[[str], None] | None = None,
 ) -> BatchResult:
     """Run ``experiment_ids`` (default: every registered experiment).
@@ -118,6 +144,17 @@ def run_batch(
     ``sim_iters`` overrides the NPB steady-loop iteration count for
     every NPB cell in the batch (the knob that makes replay worthwhile:
     large counts amortise to the cost of the first few iterations).
+
+    ``supervisor`` runs every experiment's sweep cells under the
+    supervised harness (:mod:`repro.harness.supervisor`): watchdog
+    timeouts, bounded retries, degradation of broken-pool cells to
+    inline execution, and journal/resume per the policy.  Cell keys are
+    namespaced by experiment id in the journal.  A supervised clean run
+    renders byte-identically to an unsupervised one; an experiment whose
+    cells ultimately fail becomes an explicit ``FAILED(<cause>)`` entry
+    (collected in :attr:`BatchResult.failures`) while the rest of the
+    batch keeps running, and the one-line banner lands in
+    :attr:`BatchResult.harness_summary`.
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -126,14 +163,23 @@ def run_batch(
     if sim_iters is not None and sim_iters < 1:
         raise ConfigError(f"sim_iters must be >= 1: {sim_iters}")
 
+    from repro.harness.supervisor import cell_namespace
+
+    cell_failures: dict[str, CellExecutionError] = {}
+
     def _run_all() -> dict[str, ExperimentOutput]:
         outputs: dict[str, ExperimentOutput] = {}
         for eid in ids:
             if progress is not None:
                 progress(eid)
-            outputs[eid] = run_experiment(
-                eid, quick=quick, seed=seed, jobs=jobs, sim_iters=sim_iters
-            )
+            with cell_namespace(eid):
+                try:
+                    outputs[eid] = run_experiment(
+                        eid, quick=quick, seed=seed, jobs=jobs, sim_iters=sim_iters
+                    )
+                except CellExecutionError as err:
+                    cell_failures[eid] = err
+                    outputs[eid] = _failed_output(eid, err)
         return outputs
 
     def _run_sanitized() -> tuple[dict[str, ExperimentOutput], str]:
@@ -173,12 +219,24 @@ def run_batch(
         outputs, summary = _run_sanitized()
         return BatchResult(outputs, sanitize_summary=summary)
 
-    if replay is None:
-        return _run_batch()
-    from repro.perf.replay import perf_banner, replay_scope
+    def _run_replayed() -> BatchResult:
+        if replay is None:
+            return _run_batch()
+        from repro.perf.replay import perf_banner, replay_scope
 
-    with replay_scope(replay) as reports:
-        result = _run_batch()
-    if replay:
-        result.perf_summary = perf_banner(reports)
+        with replay_scope(replay) as reports:
+            result = _run_batch()
+        if replay:
+            result.perf_summary = perf_banner(reports)
+        return result
+
+    if supervisor is None:
+        result = _run_replayed()
+    else:
+        from repro.harness.supervisor import supervision_scope
+
+        with supervision_scope(supervisor) as sup:
+            result = _run_replayed()
+        result.harness_summary = sup.banner()
+    result.failures = dict(cell_failures)
     return result

@@ -65,5 +65,6 @@ class TestCli:
         assert "fig3" in capsys.readouterr().out
 
     def test_error_reported_cleanly(self, capsys):
-        assert main(["run", "bogus"]) == 2
+        # Fatal errors exit 1 (0 = all ok, 3 = partial supervised sweep).
+        assert main(["run", "bogus"]) == 1
         assert "error:" in capsys.readouterr().err

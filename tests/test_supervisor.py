@@ -1,0 +1,504 @@
+"""Tests for the supervised, resumable sweep harness.
+
+Covers the tentpole contracts of ``repro.harness.supervisor``:
+
+* clean-run byte-identity — supervision + journal enabled must render
+  every registered experiment byte-identically to a plain run;
+* journal round-trip — a sweep killed after k of n cells and resumed
+  from its journal renders byte-identically to an uninterrupted run,
+  re-executing only the n−k missing cells;
+* watchdog timeout, bounded retries, retry exhaustion and
+  degrade-to-serial on a broken process pool;
+* structured ``CellExecutionError`` surfacing (including the
+  unsupervised ``BrokenProcessPool`` wrapping) and the CLI's
+  0 / 3 / 1 exit-code contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import CellExecutionError, ConfigError, VerificationError
+from repro.harness import parallel
+from repro.harness.journal import (
+    RunJournal,
+    decode_value,
+    encode_value,
+    load_journal,
+    payload_hash,
+)
+from repro.harness.parallel import Cell, cell_worker, run_cells
+from repro.harness.supervisor import (
+    SupervisorPolicy,
+    cell_namespace,
+    run_cells_supervised,
+    supervision_scope,
+)
+
+
+# ---------------------------------------------------------------------------
+# Module-level cell workers (pool workers must be able to resolve them)
+# ---------------------------------------------------------------------------
+
+@cell_worker("sup_square")
+def _sup_square(x):
+    return {"v": float(x * x)}
+
+
+@cell_worker("sup_flaky")
+def _sup_flaky(x, fail_above, arm_path):
+    """Deterministic computation that raises for x >= fail_above while
+    the arm file exists — the 'sweep killed midway' stand-in."""
+    if os.path.exists(arm_path) and x >= fail_above:
+        raise RuntimeError(f"flaky cell {x}")
+    return {"v": float(x * x)}
+
+
+@cell_worker("sup_raise")
+def _sup_raise(x):
+    raise RuntimeError(f"boom {x}")
+
+
+@cell_worker("sup_raise_repro")
+def _sup_raise_repro(x):
+    raise VerificationError(f"deterministic failure {x}")
+
+
+@cell_worker("sup_hang")
+def _sup_hang(x):
+    time.sleep(60.0)
+    return {"v": float(x)}
+
+
+@cell_worker("sup_sleep_once")
+def _sup_sleep_once(x, marker):
+    """Hangs on its first execution (claims the marker), instant after."""
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return {"v": float(x)}
+    os.close(fd)
+    time.sleep(60.0)
+    return {"v": float(x)}
+
+
+@cell_worker("sup_die_once")
+def _sup_die_once(x, marker):
+    """First pool execution kills its worker process; any later
+    execution (fresh pool or inline degrade) succeeds."""
+    if parallel._IS_POOL_WORKER:
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            os._exit(9)
+    return {"v": float(x * 3)}
+
+
+@cell_worker("sup_die_always")
+def _sup_die_always(x):
+    """Kills every pool worker it runs in (inline execution survives)."""
+    if parallel._IS_POOL_WORKER:
+        os._exit(9)
+    return {"v": float(x)}
+
+
+# ---------------------------------------------------------------------------
+# Journal primitives
+# ---------------------------------------------------------------------------
+
+class TestJournal:
+    def test_typed_encoding_round_trip(self):
+        values = [
+            {"a": 1.5, "b": [1, 2, (3, "x")]},
+            {1: 0.25, 1024: 3.5},          # OSU-style int-keyed curve
+            ("cg", "Vayu", 16),
+            {"__tuple__": "collision-safe"},
+            [float("inf"), -0.0, 1e-300],
+        ]
+        for v in values:
+            assert decode_value(json.loads(json.dumps(encode_value(v)))) == v
+
+    def test_payload_hash_stable_and_discriminating(self):
+        h = payload_hash("npb_point", ("cg", "Vayu", 16, 0))
+        assert h == payload_hash("npb_point", ("cg", "Vayu", 16, 0))
+        assert h != payload_hash("npb_point", ("cg", "Vayu", 16, 1))
+        assert h != payload_hash("osu_curve", ("cg", "Vayu", 16, 0))
+
+    def test_journal_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_cell("fig1", ("Vayu",), "osu_curve", "abc", {1: 2.5})
+            journal.record_event("fig1", ("DCC",), "retry", cause="timeout")
+            journal.record_cell("fig2", ("Vayu",), "osu_curve", "def", {4: 1.25})
+        entries = load_journal(path)
+        assert set(entries) == {("fig1", ("Vayu",)), ("fig2", ("Vayu",))}
+        assert entries[("fig1", ("Vayu",))].result == {1: 2.5}
+        assert entries[("fig1", ("Vayu",))].payload_hash == "abc"
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_cell("ns", (1,), "w", "h", {"v": 1.0})
+        with open(path, "a") as fh:
+            fh.write('{"kind": "cell", "ns": "ns", "key"')  # killed mid-write
+        entries = load_journal(path)
+        assert set(entries) == {("ns", (1,))}
+
+    def test_corrupt_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_cell("ns", (1,), "w", "h", {"v": 1.0})
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+            fh.write('{"kind": "event", "ns": "ns", "key": [], "event": "x"}\n')
+        with pytest.raises(ConfigError, match="corrupt journal"):
+            load_journal(path)
+
+    def test_missing_resume_journal_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            load_journal(tmp_path / "nope.jsonl")
+
+
+# ---------------------------------------------------------------------------
+# Supervised execution semantics
+# ---------------------------------------------------------------------------
+
+class TestSupervisedExecution:
+    def test_clean_run_matches_plain_run_cells(self, tmp_path):
+        cells = [Cell((i,), "sup_square", (i,)) for i in range(5)]
+        plain = run_cells(cells, jobs=1)
+        report = run_cells_supervised(
+            cells, jobs=2,
+            policy=SupervisorPolicy(journal=tmp_path / "j.jsonl"),
+        )
+        assert report.results == plain
+        assert list(report.results) == list(plain)
+        assert not report.failures and not report.retries
+        assert report.stats.ok == 5 and report.stats.failed == 0
+
+    def test_duplicate_keys_rejected(self):
+        cells = [Cell((1,), "sup_square", (1,)), Cell((1,), "sup_square", (2,))]
+        with pytest.raises(ConfigError, match="duplicate cell keys"):
+            run_cells_supervised(cells, policy=SupervisorPolicy())
+
+    def test_unknown_worker_stays_fatal(self):
+        with pytest.raises(ConfigError, match="unknown cell worker"):
+            run_cells_supervised(
+                [Cell((1,), "no_such_worker")], policy=SupervisorPolicy()
+            )
+
+    def test_worker_exception_exhausts_retries(self):
+        cells = [Cell((0,), "sup_square", (0,)), Cell((1,), "sup_raise", (1,))]
+        report = run_cells_supervised(
+            cells, jobs=1, policy=SupervisorPolicy(retries=1)
+        )
+        assert report.results == {(0,): {"v": 0.0}}
+        err = report.failures[(1,)]
+        assert isinstance(err, CellExecutionError)
+        assert err.cause == "worker-exception"
+        assert err.attempts == 2          # first try + one retry
+        assert "boom 1" in err.detail and "RuntimeError" in err.detail
+        assert report.retries[(1,)] == ("worker-exception", "worker-exception")
+        assert report.stats.failed == 1 and report.stats.ok == 1
+
+    def test_repro_errors_never_retried(self):
+        report = run_cells_supervised(
+            [Cell((1,), "sup_raise_repro", (1,))],
+            jobs=1, policy=SupervisorPolicy(retries=3),
+        )
+        err = report.failures[(1,)]
+        assert err.attempts == 1          # deterministic error: no retry
+        assert "VerificationError" in err.detail
+
+    def test_hung_cell_times_out_and_sweep_survives(self):
+        cells = [Cell(("hang",), "sup_hang", (0,))] + [
+            Cell((i,), "sup_square", (i,)) for i in range(3)
+        ]
+        report = run_cells_supervised(
+            cells, jobs=2, policy=SupervisorPolicy(timeout=1.0, retries=0)
+        )
+        err = report.failures[("hang",)]
+        assert err.cause == "timeout"
+        assert "watchdog" in err.detail
+        assert report.results[(2,)] == {"v": 4.0}
+        assert report.stats.ok == 3 and report.stats.failed == 1
+
+    def test_hung_cell_retried_then_succeeds(self, tmp_path):
+        marker = str(tmp_path / "slept")
+        cells = [Cell(("once",), "sup_sleep_once", (7, marker))] + [
+            Cell((i,), "sup_square", (i,)) for i in range(2)
+        ]
+        report = run_cells_supervised(
+            cells, jobs=2, policy=SupervisorPolicy(timeout=1.5, retries=1)
+        )
+        assert not report.failures
+        assert report.results[("once",)] == {"v": 7.0}
+        assert report.retries[("once",)] == ("timeout",)
+        assert report.stats.retried == 1
+
+    def test_broken_pool_degrades_to_serial(self, tmp_path):
+        marker = str(tmp_path / "died")
+        cells = [Cell((i,), "sup_die_once", (i, marker)) for i in range(4)]
+        report = run_cells_supervised(
+            cells, jobs=2, policy=SupervisorPolicy(retries=0)
+        )
+        assert not report.failures
+        assert report.results == {(i,): {"v": float(i * 3)} for i in range(4)}
+        assert report.stats.degraded >= 1
+        assert os.path.exists(marker)
+
+    def test_chaos_kill_env_hook(self, tmp_path, monkeypatch):
+        marker = tmp_path / "chaos"
+        monkeypatch.setenv("REPRO_CHAOS_KILL", str(marker))
+        cells = [Cell((i,), "sup_square", (i,)) for i in range(4)]
+        report = run_cells_supervised(cells, jobs=2, policy=SupervisorPolicy())
+        assert report.results == {(i,): {"v": float(i * i)} for i in range(4)}
+        assert not report.failures
+        assert report.stats.degraded >= 1
+        assert marker.exists()
+
+    def test_unsupervised_broken_pool_names_cell(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUPERVISE", raising=False)
+        cells = [Cell((i,), "sup_die_always", (i,)) for i in range(2)]
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(cells, jobs=2)
+        assert excinfo.value.cause == "worker-death"
+        assert excinfo.value.key in {(0,), (1,)}
+        assert "supervision" in excinfo.value.detail
+
+
+# ---------------------------------------------------------------------------
+# Journal resume: interrupted sweep == uninterrupted sweep
+# ---------------------------------------------------------------------------
+
+class TestResume:
+    def test_interrupted_then_resumed_is_byte_identical(self, tmp_path):
+        arm = tmp_path / "armed"
+        jpath = tmp_path / "run.jsonl"
+        n, k = 6, 3
+        cells = [Cell((i,), "sup_flaky", (i, k, str(arm))) for i in range(n)]
+
+        clean = run_cells_supervised(
+            cells, jobs=1, policy=SupervisorPolicy(retries=0)
+        )
+        assert len(clean.results) == n
+
+        # "Kill" the sweep after k cells: arm the failure, run journaled.
+        arm.touch()
+        interrupted = run_cells_supervised(
+            cells, jobs=1, policy=SupervisorPolicy(retries=0, journal=jpath)
+        )
+        assert len(interrupted.results) == k
+        assert len(interrupted.failures) == n - k
+        assert all(
+            err.cause == "worker-exception"
+            for err in interrupted.failures.values()
+        )
+
+        # Resume: only the n-k missing cells re-execute.
+        arm.unlink()
+        resumed = run_cells_supervised(
+            cells, jobs=1,
+            policy=SupervisorPolicy(retries=0, journal=jpath, resume=jpath),
+        )
+        assert resumed.stats.journal_hits == k
+        assert not resumed.failures
+        assert repr(resumed.results) == repr(clean.results)
+
+    def test_payload_hash_mismatch_forces_re_execution(self, tmp_path):
+        jpath = tmp_path / "run.jsonl"
+        with RunJournal(jpath) as journal:
+            journal.record_cell(
+                "", (2,), "sup_square", "stale-hash", {"v": -1.0}
+            )
+        report = run_cells_supervised(
+            [Cell((2,), "sup_square", (2,))],
+            jobs=1, policy=SupervisorPolicy(resume=jpath),
+        )
+        # The stale entry must not be trusted: the cell re-runs.
+        assert report.stats.journal_hits == 0
+        assert report.results[(2,)] == {"v": 4.0}
+
+    def test_namespaces_isolate_identical_keys(self, tmp_path):
+        jpath = tmp_path / "run.jsonl"
+        cells_a = [Cell((1,), "sup_square", (3,))]
+        with supervision_scope(SupervisorPolicy(journal=jpath)) as scope:
+            with cell_namespace("expA"):
+                run_cells(cells_a, jobs=1)
+        entries = load_journal(jpath)
+        assert set(entries) == {("expA", (1,))}
+        # Same key under a different namespace is NOT resumed from expA.
+        with supervision_scope(
+            SupervisorPolicy(journal=jpath, resume=jpath)
+        ) as scope:
+            with cell_namespace("expB"):
+                run_cells(cells_a, jobs=1)
+            assert scope.stats.journal_hits == 0
+
+
+# ---------------------------------------------------------------------------
+# Batch-level integration: run_batch, FAILED rendering, exit codes
+# ---------------------------------------------------------------------------
+
+def _experiment_ids():
+    from repro.harness.experiments import EXPERIMENTS
+
+    return sorted(EXPERIMENTS)
+
+
+@pytest.mark.parametrize("experiment_id", _experiment_ids())
+def test_supervised_experiment_byte_identical(experiment_id, tmp_path):
+    """Acceptance: every registered experiment rendered with
+    supervision + journal enabled is byte-identical to a plain run."""
+    from repro.harness.runner import run_batch
+
+    plain = run_batch([experiment_id], quick=True, seed=2)
+    supervised = run_batch(
+        [experiment_id], quick=True, seed=2,
+        supervisor=SupervisorPolicy(journal=tmp_path / "j.jsonl"),
+    )
+    assert supervised.render() == plain.render()
+    assert not supervised.failures
+    assert supervised.harness_summary is not None
+    assert supervised.harness_summary.startswith("harness: ")
+
+
+def test_batch_resume_skips_journaled_cells(tmp_path):
+    """Resuming a fully journaled batch re-executes no sweep cells and
+    renders byte-identically."""
+    from repro.harness.runner import run_batch
+
+    jpath = tmp_path / "batch.jsonl"
+    plain = run_batch(["fig1", "tab3"], quick=True, seed=2)
+    first = run_batch(
+        ["fig1", "tab3"], quick=True, seed=2,
+        supervisor=SupervisorPolicy(journal=jpath),
+    )
+    assert first.render() == plain.render()
+
+    calls: list[tuple] = []
+    real_execute = parallel._execute
+
+    def _poisoned(cell):
+        calls.append(cell.key)
+        return real_execute(cell)
+
+    parallel._execute = _poisoned
+    try:
+        resumed = run_batch(
+            ["fig1", "tab3"], quick=True, seed=2,
+            supervisor=SupervisorPolicy(journal=jpath, resume=jpath),
+        )
+    finally:
+        parallel._execute = real_execute
+    assert calls == []  # every cell came from the journal
+    assert resumed.render() == plain.render()
+    assert "from journal" in resumed.harness_summary
+
+
+def test_batch_partial_failure_renders_and_continues(monkeypatch, capsys):
+    """A failing experiment becomes FAILED(<cause>); the batch keeps
+    running and the CLI exits 3."""
+    from repro.cli import main
+    from repro.harness.experiments import EXPERIMENTS, ExperimentOutput
+
+    def _failing_experiment(quick=True, seed=0, jobs=1, sim_iters=None):
+        points = run_cells([Cell((1,), "sup_raise", (1,))], jobs=jobs)
+        return ExperimentOutput("failex", "never reached", {}, str(points))
+
+    monkeypatch.setitem(EXPERIMENTS, "failex", _failing_experiment)
+    rc = main(["run", "failex", "tab1", "--supervise", "--retries", "0"])
+    out = capsys.readouterr().out
+    assert rc == 3
+    assert "=== failex: FAILED(worker-exception) ===" in out
+    assert "FAILED(worker-exception): cell (1,)" in out
+    assert "tab1: Experimental platforms" in out  # batch kept going
+
+
+def test_faults_sweep_partial_failure_grid(monkeypatch, capsys):
+    """Failed sweep cells render as FAILED(<cause>) grid entries; the
+    command exits 3 and the rest of the grid survives."""
+    import repro.faults.checkpoint as checkpoint
+    from repro.cli import main
+
+    real = checkpoint.simulate_completion
+
+    def _sabotaged(work, policy, rate, stream):
+        if rate >= 0.05:
+            raise RuntimeError("sabotaged cell")
+        return real(work, policy, rate, stream)
+
+    monkeypatch.setattr(checkpoint, "simulate_completion", _sabotaged)
+    rc = main([
+        "faults", "sweep", "--rates", "0.01", "0.05", "--intervals", "10",
+        "--work", "100", "--trials", "2",
+        "--supervise", "--retries", "0",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 3
+    assert "FAILED(worker-exception)" in out
+    assert "# best cell: rate=0.01" in out
+    assert "# failed cell: rate=0.05" in out
+
+
+def test_faults_sweep_resume_byte_identical(tmp_path, monkeypatch):
+    """Acceptance: a sweep interrupted after k of n cells and resumed
+    via the journal renders byte-identically to an uninterrupted one."""
+    import repro.faults.checkpoint as checkpoint
+    from repro.faults.sweep import sweep_failure_checkpoint
+
+    kwargs = dict(
+        work=100.0, checkpoint_cost=1.0, restart_cost=2.0, trials=2, seed=3
+    )
+    rates, intervals = [0.01, 0.05], [10.0, 25.0]
+    jpath = tmp_path / "sweep.jsonl"
+
+    clean = sweep_failure_checkpoint(rates, intervals, **kwargs)
+
+    real = checkpoint.simulate_completion
+
+    def _sabotaged(work, policy, rate, stream):
+        if rate >= 0.05:
+            raise RuntimeError("interrupted")
+        return real(work, policy, rate, stream)
+
+    monkeypatch.setattr(checkpoint, "simulate_completion", _sabotaged)
+    interrupted = sweep_failure_checkpoint(
+        rates, intervals, **kwargs,
+        supervisor=SupervisorPolicy(retries=0, journal=jpath),
+    )
+    assert len(interrupted.cells) == 2 and len(interrupted.failures) == 2
+    monkeypatch.setattr(checkpoint, "simulate_completion", real)
+
+    resumed = sweep_failure_checkpoint(
+        rates, intervals, **kwargs,
+        supervisor=SupervisorPolicy(retries=0, journal=jpath, resume=jpath),
+    )
+    assert not resumed.failures
+    assert resumed.render() == clean.render()
+    assert resumed.to_dict() == clean.to_dict()
+    assert "2 from journal" in resumed.harness_summary
+
+
+def test_cli_exit_codes_documented_in_help():
+    from repro.cli import build_parser
+
+    text = build_parser().format_help()
+    assert "exit codes" in text
+    assert "3 partial" in text and "1 fatal" in text
+
+
+def test_env_supervision_is_invisible_on_clean_runs(monkeypatch):
+    monkeypatch.setenv("REPRO_SUPERVISE", "1")
+    cells = [Cell((i,), "sup_square", (i,)) for i in range(4)]
+    supervised = run_cells(cells, jobs=2)
+    monkeypatch.delenv("REPRO_SUPERVISE")
+    plain = run_cells(cells, jobs=1)
+    assert supervised == plain
