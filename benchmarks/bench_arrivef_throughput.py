@@ -7,9 +7,9 @@ times).
 
 The remaining tests measure the simulation engine itself — events
 dispatched per second on the :mod:`repro.perf.enginebench` workloads
-(timeout-heavy, point-to-point ping-pong, allreduce collectives, and the
-replay-enabled NPB steady loop) — so the sim-layer fast paths have
-dedicated before/after numbers.  Results are written to
+(timeout-heavy, point-to-point ping-pong, the fast-forwarded
+compute/allreduce cadence, and the replay-enabled NPB steady loop) — so
+the sim-layer fast paths have dedicated before/after numbers.  Results are written to
 ``BENCH_engine.json`` in the working directory at session end; the same
 rows come from ``python -m repro bench engine``.
 """
@@ -20,6 +20,7 @@ import pytest
 
 from repro.perf.enginebench import (
     WORKLOADS,
+    collective_event_counts,
     replay_event_counts,
     run_workload,
     write_rows,
@@ -49,6 +50,14 @@ def test_engine_throughput(workload):
             f"replay eliminated only {row['events_ratio']:.2f}x events"
         )
         assert row["replayed_iters"] > 0, "replay never engaged"
+    elif workload == "collectives":
+        row.update(collective_event_counts())
+        # The collective fast-forward's acceptance figure: the analytic
+        # path must eliminate >= 3x the engine events of the per-op path.
+        assert row["events_ratio"] >= 3.0, (
+            f"fastcollect eliminated only {row['events_ratio']:.2f}x events"
+        )
+        assert row["fast_ops"] > 0, "fastcollect never engaged"
     _ENGINE_ROWS[workload] = row
 
 

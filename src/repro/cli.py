@@ -12,6 +12,8 @@ Commands
     ``--sanitize`` runs every world under the MPI sanitizer,
     ``--faults <spec>`` injects a fault schedule into every world,
     ``--replay``/``--no-replay`` control steady-iteration fast-forward,
+    ``--fastcollect``/``--no-fastcollect`` control the analytic
+    collective fast-forward,
     ``--sim-iters N`` overrides the NPB steady-loop length,
     ``--supervise``/``--timeout``/``--retries`` run sweep cells under
     the supervised harness (watchdog, bounded retries, degrade),
@@ -30,7 +32,8 @@ Exit codes
     Fatal — bad configuration or an unhandled failure; no report.
 ``bench engine``
     Engine dispatch-throughput microbenchmark; writes
-    ``BENCH_engine.json`` and can gate against a baseline (``--check``).
+    ``BENCH_engine.json``, can gate against a baseline (``--check``)
+    and can append a per-commit trajectory row (``--append-history``).
 ``faults sweep``
     Sweep the checkpoint/restart model over failure rate x checkpoint
     interval (see ``docs/resilience.md``).
@@ -102,7 +105,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     batch = run_batch(
         ids, quick=not args.full, seed=args.seed, jobs=args.jobs,
         sanitize=args.sanitize, faults=args.faults,
-        replay=args.replay, sim_iters=args.sim_iters,
+        replay=args.replay, fastcollect=args.fastcollect,
+        sim_iters=args.sim_iters,
         supervisor=_supervisor_policy(args),
         progress=lambda eid: print(f"[running] {eid}", file=sys.stderr),
     )
@@ -193,6 +197,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.enginebench import (
+        append_history,
         check_against_baseline,
         load_rows,
         render_rows,
@@ -202,11 +207,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.bench_command != "engine":
         raise AssertionError(f"unhandled bench subcommand {args.bench_command!r}")
-    rows = run_engine_bench(reps=args.reps)
+    rows = run_engine_bench(reps=args.reps, workloads=args.workloads)
     print(render_rows(rows))
     if args.out:
         write_rows(rows, args.out)
         print(f"[written] {args.out}", file=sys.stderr)
+    if args.append_history:
+        records = append_history(rows, args.append_history)
+        print(
+            f"[appended] {len(records)} row(s) to {args.append_history}",
+            file=sys.stderr,
+        )
     if args.check:
         failures = check_against_baseline(
             rows, load_rows(args.check), tolerance=args.tolerance
@@ -313,6 +324,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="force iteration replay off, overriding REPRO_REPLAY",
     )
     run.add_argument(
+        "--fastcollect", action="store_true", default=None,
+        help="fast-forward whole collective phases analytically (never "
+             "changes results; adds a [perf: ...] banner; also via "
+             "REPRO_FASTCOLLECT)",
+    )
+    run.add_argument(
+        "--no-fastcollect", dest="fastcollect", action="store_false",
+        help="force collective fast-forward off, overriding "
+             "REPRO_FASTCOLLECT",
+    )
+    run.add_argument(
         "--sim-iters", type=int, default=None, metavar="N",
         help="override the NPB steady-loop iteration count (N >= 1)",
     )
@@ -390,6 +412,16 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument(
         "--tolerance", type=float, default=0.30,
         help="allowed fractional events/sec drop for --check (default 0.30)",
+    )
+    engine.add_argument(
+        "--workloads", nargs="+", default=None, metavar="NAME",
+        help="run only these workloads (default: all registered)",
+    )
+    engine.add_argument(
+        "--append-history", nargs="?", const="BENCH_history.jsonl",
+        default=None, metavar="PATH",
+        help="append one {commit, workload, events_per_sec} JSONL row per "
+             "workload to PATH (default BENCH_history.jsonl)",
     )
 
     osu = sub.add_parser("osu", help="run OSU latency/bandwidth on a platform")

@@ -30,7 +30,8 @@ class BatchResult:
     sanitize_summary: str | None = None
     #: Canonical fault-schedule spec the batch ran under (None: fault-free).
     faults_spec: str | None = None
-    #: One-line memo/replay banner (None unless ``replay=True`` was asked).
+    #: One-line memo/replay/fastcollect banner (None unless ``replay=True``
+    #: or ``fastcollect=True`` was asked).
     perf_summary: str | None = None
     #: One-line ``harness: ...`` supervision banner (None unsupervised).
     #: Deliberately *not* part of :meth:`render` — its retry/journal-hit
@@ -111,6 +112,7 @@ def run_batch(
     sanitize: bool = False,
     faults: str | None = None,
     replay: bool | None = None,
+    fastcollect: bool | None = None,
     sim_iters: int | None = None,
     supervisor: "SupervisorPolicy | None" = None,
     progress: _t.Callable[[str], None] | None = None,
@@ -140,6 +142,13 @@ def run_batch(
     leaves the environment's setting in charge and prints no banner.
     Replay is a pure fast-forward optimization — worlds it cannot prove
     safe fall back to full simulation, so results never change.
+
+    ``fastcollect`` does the same for the analytic collective
+    fast-forward (:mod:`repro.perf.fastcollect`), exported through
+    ``REPRO_FASTCOLLECT``: ``True`` adds its counters to the
+    ``[perf: ...]`` banner, worlds it cannot prove safe fall back to the
+    per-operation collective path with a recorded reason, and results
+    never change.
 
     ``sim_iters`` overrides the NPB steady-loop iteration count for
     every NPB cell in the batch (the knob that makes replay worthwhile:
@@ -219,24 +228,36 @@ def run_batch(
         outputs, summary = _run_sanitized()
         return BatchResult(outputs, sanitize_summary=summary)
 
-    def _run_replayed() -> BatchResult:
-        if replay is None:
+    def _run_perf() -> BatchResult:
+        if replay is None and fastcollect is None:
             return _run_batch()
+        import contextlib as _ctx
+
+        from repro.perf.fastcollect import fastcollect_scope
         from repro.perf.replay import perf_banner, replay_scope
 
-        with replay_scope(replay) as reports:
+        replay_reports = None
+        fc_reports = None
+        with _ctx.ExitStack() as stack:
+            if replay is not None:
+                replay_reports = stack.enter_context(replay_scope(replay))
+            if fastcollect is not None:
+                fc_reports = stack.enter_context(fastcollect_scope(fastcollect))
             result = _run_batch()
-        if replay:
-            result.perf_summary = perf_banner(reports)
+        if replay or fastcollect:
+            result.perf_summary = perf_banner(
+                replay_reports if replay else None,
+                fastcollect=fc_reports if fastcollect else None,
+            )
         return result
 
     if supervisor is None:
-        result = _run_replayed()
+        result = _run_perf()
     else:
         from repro.harness.supervisor import supervision_scope
 
         with supervision_scope(supervisor) as sup:
-            result = _run_replayed()
+            result = _run_perf()
         result.harness_summary = sup.banner()
     result.failures = dict(cell_failures)
     return result

@@ -76,6 +76,10 @@ class RankProfile:
         self.regions: dict[str, RegionStats] = {GLOBAL_REGION: RegionStats(GLOBAL_REGION)}
         self._stack: list[RegionStats] = []
         self.finish_time = 0.0
+        #: Bumped on every region enter/exit.  External caches of
+        #: :meth:`_targets`-derived buckets (the collective fast path)
+        #: key on it so a region change invalidates them.
+        self._stack_version = 0
 
     # -- region management -------------------------------------------------
     def region(self, name: str) -> RegionStats:
@@ -94,6 +98,7 @@ class RankProfile:
             raise ConfigError(f"region {name!r} re-entered on rank {self.rank}")
         stats._entered_at = now
         self._stack.append(stats)
+        self._stack_version += 1
 
     def exit(self, name: str, now: float) -> None:
         if not self._stack or self._stack[-1].name != name:
@@ -103,6 +108,7 @@ class RankProfile:
                 f"top of stack is {top!r}"
             )
         stats = self._stack.pop()
+        self._stack_version += 1
         assert stats._entered_at is not None
         stats.wall_time += now - stats._entered_at
         stats._entered_at = None

@@ -20,6 +20,9 @@ COLLECTIVE_SIZES = tuple(4 * 4**k for k in range(0, 10))
 
 
 def _allreduce_program(comm, sizes, iterations, warmup) -> _t.Generator:
+    # Vector-price the whole size sweep up front: a no-op unless the
+    # world runs with the collective fast-forward enabled.
+    comm.prime_collectives("allreduce", sizes)
     results: dict[int, float] = {}
     for size in sizes:
         for phase, count in (("warmup", warmup), ("timed", iterations)):
@@ -37,6 +40,7 @@ def _allreduce_program(comm, sizes, iterations, warmup) -> _t.Generator:
 
 
 def _alltoall_program(comm, sizes, iterations, warmup) -> _t.Generator:
+    comm.prime_collectives("alltoall", [size * comm.size for size in sizes])
     results: dict[int, float] = {}
     for size in sizes:
         total = size * comm.size  # per-rank total, OSU's per-pair "size"

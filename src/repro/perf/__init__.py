@@ -12,10 +12,21 @@ without changing any result:
   once consecutive steady-loop iterations are provably identical on a
   draw-free platform, the remaining ones are fast-forwarded analytically
   instead of re-simulated.
+* :mod:`repro.perf.fastcollect` — analytic collective fast-forward:
+  whole collective phases complete through one pre-triggered event
+  priced from per-communicator caches (with vectorized size-sweep
+  priming), byte-identical to the per-operation path.
 * :mod:`repro.perf.enginebench` — the engine dispatch-throughput
-  microbenchmark behind ``repro bench engine`` and ``BENCH_engine.json``.
+  microbenchmark behind ``repro bench engine``, ``BENCH_engine.json``
+  and the ``BENCH_history.jsonl`` trajectory.
 """
 
+from repro.perf.fastcollect import (
+    FastCollect,
+    FastCollectReport,
+    fastcollect_enabled,
+    fastcollect_scope,
+)
 from repro.perf.memo import (
     CollectiveMemo,
     clear_default_memo,
@@ -28,20 +39,26 @@ from repro.perf.replay import (
     ReplayReport,
     deterministic_variant,
     perf_banner,
+    perturbation_reason,
     replay_enabled,
     replay_scope,
 )
 
 __all__ = [
     "CollectiveMemo",
+    "FastCollect",
+    "FastCollectReport",
     "LoopStats",
     "ReplayRecorder",
     "ReplayReport",
     "clear_default_memo",
     "default_memo",
     "deterministic_variant",
+    "fastcollect_enabled",
+    "fastcollect_scope",
     "memo_stats",
     "perf_banner",
+    "perturbation_reason",
     "replay_enabled",
     "replay_scope",
 ]

@@ -1,16 +1,18 @@
 """Engine dispatch-throughput microbenchmark (``repro bench engine``).
 
 Measures events dispatched per second on four archetypal workloads —
-timeout-heavy, point-to-point ping-pong, allreduce collectives, and a
-replay-enabled NPB steady loop — so the sim-layer fast paths have
-dedicated before/after numbers.  The same workloads back three
-consumers:
+timeout-heavy, point-to-point ping-pong, a compute/allreduce collective
+cadence (fast-forward on), and a replay-enabled NPB steady loop — so the
+sim-layer fast paths have dedicated before/after numbers.  The same
+workloads back three consumers:
 
-* ``python -m repro bench engine`` writes ``BENCH_engine.json`` and can
-  gate CI against a committed baseline (``--check``);
+* ``python -m repro bench engine`` writes ``BENCH_engine.json``, can
+  gate CI against a committed baseline (``--check``) and can append
+  per-run trajectory rows to ``BENCH_history.jsonl``
+  (``--append-history``);
 * ``benchmarks/bench_arrivef_throughput.py`` runs them under pytest;
-* the replay workload additionally records how many engine events the
-  iteration fast-forward eliminates (``events_ratio``).
+* the replay and collectives workloads additionally record how many
+  engine events their fast-forward layers eliminate (``events_ratio``).
 
 Wall-clock timing here is host-side measurement of the simulator, not
 simulated time, hence the ``DET001`` lint waivers.
@@ -80,18 +82,42 @@ def workload_p2p() -> _t.Any:
     return world.engine
 
 
-def workload_collectives() -> _t.Any:
-    """Eight ranks in an allreduce loop."""
+#: Collectives-workload shape: a compute + allreduce cadence (the NPB
+#: steady-loop pattern) on a quiet Vayu variant, sized so the analytic
+#: fast-forward has whole phases to collapse.
+COLLECT_NPROCS = 8
+COLLECT_REPS = 4000
+COLLECT_NBYTES = 4096
+
+
+def _collective_phases(fastcollect: bool) -> tuple[_t.Any, _t.Any]:
+    """One compute/allreduce cadence run with the fast path on or off.
+
+    ``fastcollect`` is passed explicitly so ``REPRO_FASTCOLLECT`` can
+    never skew the benchmark's on/off comparison.
+    """
+    from repro.perf.replay import deterministic_variant
     from repro.platforms import get_platform
     from repro.smpi.world import MpiWorld
 
     def loop(comm, reps: int, nbytes: int):
+        comm.prime_collectives("allreduce", [nbytes])
         for _ in range(reps):
+            yield from comm.compute(flops=5e4)
             yield from comm.allreduce(nbytes, value=1.0)
 
-    world = MpiWorld(get_platform("vayu"), 8, seed=7)
-    world.launch(loop, 4000, 4096)
-    return world.engine
+    spec = deterministic_variant(get_platform("vayu"))
+    world = MpiWorld(
+        spec, COLLECT_NPROCS, seed=7, replay=False, fastcollect=fastcollect
+    )
+    result = world.launch(loop, COLLECT_REPS, COLLECT_NBYTES)
+    return world.engine, result
+
+
+def workload_collectives() -> _t.Any:
+    """Ranks in a compute/allreduce cadence (collective fast-forward on)."""
+    engine, _result = _collective_phases(True)
+    return engine
 
 
 def _replay_cg(replay: bool) -> tuple[_t.Any, _t.Any]:
@@ -103,7 +129,9 @@ def _replay_cg(replay: bool) -> tuple[_t.Any, _t.Any]:
 
     bench = get_benchmark(REPLAY_BENCH, sim_iters=REPLAY_SIM_ITERS)
     spec = deterministic_variant(get_platform("vayu"))
-    world = MpiWorld(spec, REPLAY_NPROCS, seed=REPLAY_SEED, replay=replay)
+    world = MpiWorld(
+        spec, REPLAY_NPROCS, seed=REPLAY_SEED, replay=replay, fastcollect=False
+    )
     result = world.launch(bench.make_program())
     return world.engine, result
 
@@ -143,6 +171,21 @@ def replay_event_counts() -> dict[str, float]:
         "events_ratio": full_engine.dispatched / replay_engine.dispatched,
         "replayed_iters": 0 if report is None else report.replayed_iters,
         "sim_iters": REPLAY_SIM_ITERS,
+    }
+
+
+def collective_event_counts() -> dict[str, float]:
+    """The collective fast-forward's event-elimination figures: the same
+    compute/allreduce cadence with the fast path off and on."""
+    full_engine, _ = _collective_phases(False)
+    fast_engine, result = _collective_phases(True)
+    report = result.fastcollect
+    return {
+        "full_events": full_engine.dispatched,
+        "fast_events": fast_engine.dispatched,
+        "events_ratio": full_engine.dispatched / fast_engine.dispatched,
+        "fast_ops": 0 if report is None else report.fast_ops,
+        "slow_ops": 0 if report is None else report.slow_ops,
     }
 
 
@@ -193,8 +236,55 @@ def run_engine_bench(
         assert best is not None
         if name == "replay":
             best.update(replay_event_counts())
+        elif name == "collectives":
+            best.update(collective_event_counts())
         rows[name] = best
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Bench trajectory (BENCH_history.jsonl)
+# ---------------------------------------------------------------------------
+
+def _git_commit() -> str:
+    """Short hash of the working tree's HEAD ("unknown" outside git)."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def append_history(
+    rows: dict[str, dict[str, float]],
+    path: str | pathlib.Path,
+    commit: str | None = None,
+) -> list[dict[str, _t.Any]]:
+    """Append one ``BENCH_history.jsonl`` line per workload.
+
+    Each line carries ``{commit, workload, events_per_sec, events}`` —
+    the minimal trajectory a regression curve needs.  Returns the
+    appended records.
+    """
+    commit = commit if commit is not None else _git_commit()
+    records = [
+        {
+            "commit": commit,
+            "workload": name,
+            "events_per_sec": row["events_per_sec"],
+            "events": row["events"],
+        }
+        for name, row in sorted(rows.items())
+    ]
+    with pathlib.Path(path).open("a") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return records
 
 
 # ---------------------------------------------------------------------------
@@ -252,9 +342,14 @@ def render_rows(rows: dict[str, dict[str, float]]) -> str:
     for name, row in sorted(rows.items()):
         line = f"{name:<12} {row['events_per_sec']:>12,.0f} ev/s  ({row['events']:,.0f} events)"
         if "events_ratio" in row:
-            line += (
-                f"  [fast-forward {row['events_ratio']:.1f}x fewer events, "
-                f"{row['replayed_iters']:.0f}/{row['sim_iters']:.0f} iters replayed]"
-            )
+            line += f"  [fast-forward {row['events_ratio']:.1f}x fewer events"
+            if "sim_iters" in row:
+                line += (
+                    f", {row['replayed_iters']:.0f}/{row['sim_iters']:.0f} "
+                    f"iters replayed"
+                )
+            elif "fast_ops" in row:
+                line += f", {row['fast_ops']:.0f} collectives fast-forwarded"
+            line += "]"
         lines.append(line)
     return "\n".join(lines)

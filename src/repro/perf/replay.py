@@ -122,6 +122,28 @@ def _note_report(report: "ReplayReport") -> None:
         _SCOPE_REPORTS.append(report)
 
 
+def perturbation_reason(world: "MpiWorld") -> str | None:
+    """Why analytic fast-forwarding must not engage on ``world``.
+
+    The shared disqualifier of both iteration replay and the collective
+    fast-forward (:mod:`repro.perf.fastcollect`): any observer or
+    perturbation of the per-event execution — the MPI sanitizer, an
+    armed fault schedule, timeline tracing, the engine tracer, or a
+    platform that samples randomness per message/computation — means
+    skipping events would change what is observed or sampled.  Returns
+    ``None`` when every cost is draw-free and unobserved.
+    """
+    if world.sanitizer is not None:
+        return "MPI sanitizer attached"
+    if world.fault_injector is not None:
+        return "fault schedule installed"
+    if world.timeline is not None:
+        return "timeline tracing enabled"
+    if world.engine.tracer is not None:
+        return "engine tracer attached"
+    return world.platform.replay_unsafe_reason()
+
+
 # ---------------------------------------------------------------------------
 # Reports
 # ---------------------------------------------------------------------------
@@ -173,8 +195,18 @@ class ReplayReport:
         )
 
 
-def perf_banner(reports: _t.Sequence["ReplayReport"]) -> str:
-    """The ``[perf: ...]`` batch-banner line: memo cache + replay stats."""
+def perf_banner(
+    reports: "_t.Sequence[ReplayReport] | None" = None,
+    fastcollect: _t.Sequence[_t.Any] | None = None,
+) -> str:
+    """The ``[perf: ...]`` batch-banner line: memo cache + replay +
+    collective fast-forward stats.
+
+    ``reports`` / ``fastcollect`` are the report lists collected by
+    :func:`replay_scope` / :func:`repro.perf.fastcollect.fastcollect_scope`;
+    passing ``None`` omits that segment (the corresponding layer was not
+    requested for the batch).
+    """
     from repro.perf.memo import memo_stats
 
     stats = memo_stats()
@@ -183,20 +215,39 @@ def perf_banner(reports: _t.Sequence["ReplayReport"]) -> str:
         memo_part = f"memo {stats.hit_rate:.0%} hit ({stats.hits}/{lookups})"
     else:
         memo_part = "memo idle"
-    total = sum(r.total_iters for r in reports)
-    if not reports:
-        replay_part = "replay saw no worlds"
-    elif total:
-        replayed = sum(r.replayed_iters for r in reports)
-        replay_part = f"replay {replayed}/{total} iters fast-forwarded"
-        fallbacks = sum(1 for r in reports if not r.active)
-        if fallbacks:
-            replay_part += f" · {fallbacks}/{len(reports)} world(s) fell back"
-    else:
-        reasons = sorted({r.reason for r in reports if r.reason is not None})
-        detail = f": {reasons[0]}" if reasons else ""
-        replay_part = f"replay idle across {len(reports)} world(s){detail}"
-    return f"perf: {memo_part} · {replay_part}"
+    parts = [memo_part]
+    if reports is not None:
+        total = sum(r.total_iters for r in reports)
+        if not reports:
+            replay_part = "replay saw no worlds"
+        elif total:
+            replayed = sum(r.replayed_iters for r in reports)
+            replay_part = f"replay {replayed}/{total} iters fast-forwarded"
+            fallbacks = sum(1 for r in reports if not r.active)
+            if fallbacks:
+                replay_part += f" · {fallbacks}/{len(reports)} world(s) fell back"
+        else:
+            reasons = sorted({r.reason for r in reports if r.reason is not None})
+            detail = f": {reasons[0]}" if reasons else ""
+            replay_part = f"replay idle across {len(reports)} world(s){detail}"
+        parts.append(replay_part)
+    if fastcollect is not None:
+        fc_reports = fastcollect
+        ops = sum(r.fast_ops + r.slow_ops for r in fc_reports)
+        if not fc_reports:
+            fc_part = "fastcollect saw no worlds"
+        elif ops:
+            fast = sum(r.fast_ops for r in fc_reports)
+            fc_part = f"fastcollect {fast}/{ops} collectives fast-forwarded"
+            fallbacks = sum(1 for r in fc_reports if not r.active)
+            if fallbacks:
+                fc_part += f" · {fallbacks}/{len(fc_reports)} world(s) fell back"
+        else:
+            reasons = sorted({r.reason for r in fc_reports if r.reason is not None})
+            detail = f": {reasons[0]}" if reasons else ""
+            fc_part = f"fastcollect idle across {len(fc_reports)} world(s){detail}"
+        parts.append(fc_part)
+    return "perf: " + " · ".join(parts)
 
 
 # ---------------------------------------------------------------------------
@@ -376,17 +427,7 @@ class ReplayRecorder:
         self.active = self.reason is None
         self._sessions: dict[tuple[int, str, int], _LoopSession] = {}
 
-    @staticmethod
-    def _disqualify(world: "MpiWorld") -> str | None:
-        if world.sanitizer is not None:
-            return "MPI sanitizer attached"
-        if world.fault_injector is not None:
-            return "fault schedule installed"
-        if world.timeline is not None:
-            return "timeline tracing enabled"
-        if world.engine.tracer is not None:
-            return "engine tracer attached"
-        return world.platform.replay_unsafe_reason()
+    _disqualify = staticmethod(perturbation_reason)
 
     def session(self, comm: "Comm", label: str, total: int) -> _LoopSession:
         """The loop session for ``(comm, label, total)`` (created on

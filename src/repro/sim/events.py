@@ -87,6 +87,28 @@ class Event:
         _heappush(eng._heap, (eng.now, eng._seq, self))
         return self
 
+    def schedule_at(self, when: float, value: _t.Any = None) -> "Event":
+        """Pre-trigger the event for dispatch at *absolute* time ``when``.
+
+        The closed-form completion primitive: the event is triggered now
+        (``value`` is already decided) but its waiters wake only when the
+        clock reaches ``when`` — exactly one heap entry, landing on
+        ``when`` itself with no ``now + (when - now)`` float round trip.
+        Both :meth:`Engine.wake_at` (iteration replay) and the collective
+        fast-forward (:mod:`repro.perf.fastcollect`) are built on it.
+        """
+        if self._value is not _PENDING or self._exc is not None:
+            raise SimulationError(f"event {self!r} already triggered")
+        eng = self.engine
+        if when < eng.now:
+            raise SimulationError(
+                f"schedule_at({when!r}) is in the past (now={eng.now!r})"
+            )
+        self._value = value
+        eng._seq += 1
+        _heappush(eng._heap, (when, eng._seq, self))
+        return self
+
     def add_callback(self, cb: _t.Callable[["Event"], None]) -> None:
         """Register ``cb`` to run when the event fires.
 

@@ -1,0 +1,174 @@
+"""Vectorized (numpy) mirrors of the analytic collective cost models.
+
+:meth:`Comm.prime_collectives` prices a whole sweep of message sizes for
+one communicator in a single numpy pass and seeds the results into the
+:class:`~repro.perf.memo.CollectiveMemo` and the fast path's per-comm
+duration cache — so the steady-state loop of an OSU/NPB program never
+evaluates a scalar cost model at all.
+
+Bit-exactness contract
+----------------------
+Every function here must return, element for element, the *exact* float
+the scalar model in :mod:`repro.smpi.collectives.algorithms` returns for
+the same ``(ctx, nbytes)``.  IEEE-754 binary64 arithmetic is
+deterministic per operation, so this holds as long as the numpy
+expression performs the same operations in the same order on the same
+values — which is why the bodies below mirror the scalar code's exact
+parenthesisation and branch structure (branches become ``np.where`` over
+both fully-evaluated arms).  ``tests/test_fastcollect.py`` sweeps every
+model against its scalar twin to pin the contract down.
+
+Only sizes are vectorized; the context is a scalar per call.  Functions
+are registered by *memo key* (the cache key namespace of
+:meth:`MpiWorld.collective`), so ``scan``/``exscan`` — costed as
+all-reduces — are served by the ``"allreduce"`` entry.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from repro.hardware.interconnect import BandwidthCurve
+from repro.smpi.collectives.algorithms import _BARRIER_BYTES, _REDUCE_BW, barrier_time
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.smpi.collectives.algorithms import CollectiveContext
+
+
+def _bw_at(curve: BandwidthCurve, n: np.ndarray) -> np.ndarray:
+    """Elementwise :meth:`BandwidthCurve.at`."""
+    bw = curve.peak * n / (n + curve.n_half)
+    if curve.decline:
+        loss = curve.decline * n / (n + curve.decline_scale)
+        bw = bw * (1.0 - loss)
+    return np.where(n <= 0, curve.peak, bw)
+
+
+def _net_msg(ctx: "CollectiveContext", n: np.ndarray, link_share: int = 1) -> np.ndarray:
+    """Elementwise :meth:`CollectiveContext.net_msg`."""
+    net = ctx.net
+    bw = _bw_at(net.bw, n) * ctx.net_bw_factor
+    transfer = (n * link_share) / bw
+    if link_share > 1:
+        transfer = transfer * net.congestion_factor
+    transfer = np.where(n > 0, transfer, 0.0)
+    lat = net.latency + ctx.extra_latency
+    latency = np.where(n > net.eager_threshold, lat * 3.0, lat)
+    return net.o_send + latency + transfer + net.o_recv
+
+
+def _shm_msg(ctx: "CollectiveContext", n: np.ndarray) -> np.ndarray:
+    """Elementwise :meth:`CollectiveContext.shm_msg`."""
+    shm = ctx.shm
+    transfer = np.where(n > 0, n / (_bw_at(shm.bw, n) * ctx.shm_bw_factor), 0.0)
+    return shm.o_send + shm.latency + transfer + shm.o_recv
+
+
+def _ring_pass(ctx: "CollectiveContext", chunk: np.ndarray) -> np.ndarray:
+    """Elementwise :meth:`CollectiveContext.ring_pass`."""
+    steps = ctx.p - 1
+    if steps <= 0:
+        return np.zeros_like(chunk)
+    if ctx.nnodes > 1:
+        return steps * _net_msg(ctx, chunk)
+    return steps * _shm_msg(ctx, chunk)
+
+
+def _reduce_cost(n: np.ndarray, rounds: int) -> np.ndarray:
+    return rounds * n / _REDUCE_BW
+
+
+def barrier_v(ctx: "CollectiveContext", n: np.ndarray) -> np.ndarray:
+    """Barrier cost (size-independent; ``n`` only shapes the output)."""
+    return np.full(n.shape, barrier_time(ctx), dtype=np.float64)
+
+
+def bcast_v(ctx: "CollectiveContext", n: np.ndarray) -> np.ndarray:
+    inter, intra = ctx.tree_rounds()
+    small = inter * _net_msg(ctx, n) + intra * _shm_msg(ctx, n)
+    if ctx.p == 1:
+        return small
+    bw = _bw_at(ctx.net.bw, n) * ctx.net_bw_factor
+    pipeline = 2.0 * n * (ctx.p - 1) / ctx.p / bw
+    latency_terms = inter * ctx.net_msg(0.0) + intra * ctx.shm_msg(0.0)
+    return np.where(n <= ctx.net.eager_threshold, small, pipeline + latency_terms)
+
+
+def reduce_v(ctx: "CollectiveContext", n: np.ndarray) -> np.ndarray:
+    inter, intra = ctx.tree_rounds()
+    return bcast_v(ctx, n) + _reduce_cost(n, inter + intra)
+
+
+def allreduce_v(ctx: "CollectiveContext", n: np.ndarray) -> np.ndarray:
+    if ctx.p == 1:
+        return np.zeros_like(n)
+    inter, intra = ctx.tree_rounds()
+    small = (
+        inter * _net_msg(ctx, n)
+        + intra * _shm_msg(ctx, n)
+        + _reduce_cost(n, inter + intra)
+    )
+    chunk = n / ctx.p
+    large = 2.0 * _ring_pass(ctx, chunk) + _reduce_cost(n, 1)
+    return np.where(n <= 2048, small, large)
+
+
+def allgather_v(ctx: "CollectiveContext", n: np.ndarray) -> np.ndarray:
+    return _ring_pass(ctx, n)
+
+
+def reduce_scatter_v(ctx: "CollectiveContext", n: np.ndarray) -> np.ndarray:
+    if ctx.p == 1:
+        return np.zeros_like(n)
+    return _ring_pass(ctx, n / ctx.p) + _reduce_cost(n, 1)
+
+
+def alltoall_v(ctx: "CollectiveContext", n: np.ndarray) -> np.ndarray:
+    if ctx.p == 1:
+        return np.zeros_like(n)
+    pair = n / ctx.p
+    remote_rounds = ctx.p - ctx.rpn
+    local_rounds = ctx.rpn - 1
+    return remote_rounds * _net_msg(ctx, pair, link_share=ctx.rpn) + local_rounds * _shm_msg(
+        ctx, pair
+    )
+
+
+def gather_v(ctx: "CollectiveContext", n: np.ndarray) -> np.ndarray:
+    if ctx.p == 1:
+        return np.zeros_like(n)
+    off_node = ctx.p - ctx.rpn
+    on_node = ctx.rpn - 1
+    net = ctx.net
+    if off_node:
+        bw = _bw_at(net.bw, n) * ctx.net_bw_factor
+        wire = off_node * n / bw
+        lat = net.latency + ctx.extra_latency + net.o_recv
+    else:
+        wire = 0.0
+        lat = 0.0
+    return lat + wire + on_node * _shm_msg(ctx, n) * 0.5
+
+
+def scatter_v(ctx: "CollectiveContext", n: np.ndarray) -> np.ndarray:
+    return gather_v(ctx, n)
+
+
+#: Vectorized model per memo key (the ``memo_key`` namespace of
+#: ``MpiWorld.collective``).  ``scan``/``exscan`` share ``"allreduce"``;
+#: ``alltoallv`` keys on a per-shape tuple and is not primeable.
+VECTORIZED: dict[str, _t.Callable[["CollectiveContext", np.ndarray], np.ndarray]] = {
+    "barrier": barrier_v,
+    "bcast": bcast_v,
+    "reduce": reduce_v,
+    "allreduce": allreduce_v,
+    "allgather": allgather_v,
+    "reduce_scatter": reduce_scatter_v,
+    "alltoall": alltoall_v,
+    "gather": gather_v,
+    "scatter": scatter_v,
+}
+
+__all__ = ["VECTORIZED", "_BARRIER_BYTES"]

@@ -101,14 +101,21 @@ class Comm:
         ("stream" or "random") selects how exposed the burst is to
         NUMA-masking stalls on virtualised platforms.
         """
-        duration = self.world.platform.compute_seconds(
-            self.world_rank, flops, mem_bytes, working_set, access
-        )
+        world = self.world
+        fc = world.fastcollect
+        if fc is not None and fc.active:
+            duration = fc.compute_seconds(
+                self.world_rank, flops, mem_bytes, working_set, access
+            )
+        else:
+            duration = world.platform.compute_seconds(
+                self.world_rank, flops, mem_bytes, working_set, access
+            )
         t0 = self.engine.now
         if duration > 0:
-            yield self.engine.timeout(duration)
-        self.world.monitor[self.world_rank].record_compute(duration)
-        self.world.record_interval(self.world_rank, t0, t0 + duration, "compute", "compute")
+            yield duration
+        world.monitor[self.world_rank].record_compute(duration)
+        world.record_interval(self.world_rank, t0, t0 + duration, "compute", "compute")
         return duration
 
     def delay(self, seconds: float, account: str = "compute") -> _t.Generator:
@@ -117,7 +124,7 @@ class Comm:
             raise MpiError(f"negative delay: {seconds}")
         t0 = self.engine.now
         if seconds > 0:
-            yield self.engine.timeout(seconds)
+            yield seconds
         profile = self.world.monitor[self.world_rank]
         kind = "io" if account == "io" else "compute"
         if account == "io":
@@ -132,7 +139,7 @@ class Comm:
         clients = concurrent if concurrent is not None else self.size
         duration = self.world.platform.fs.read_time(nbytes, clients)
         t0 = self.engine.now
-        yield self.engine.timeout(duration)
+        yield duration
         self.world.monitor[self.world_rank].record_io(duration)
         self.world.record_interval(self.world_rank, t0, t0 + duration, "io", "read")
         return duration
@@ -142,7 +149,7 @@ class Comm:
         clients = concurrent if concurrent is not None else self.size
         duration = self.world.platform.fs.write_time(nbytes, clients)
         t0 = self.engine.now
-        yield self.engine.timeout(duration)
+        yield duration
         self.world.monitor[self.world_rank].record_io(duration)
         self.world.record_interval(self.world_rank, t0, t0 + duration, "io", "write")
         return duration
@@ -297,13 +304,20 @@ class Comm:
         return msg
 
     # -- collectives -------------------------------------------------------------------
+    # Each method returns the dispatched generator from
+    # ``MpiWorld.collective`` directly (callers ``yield from`` it either
+    # way), which keeps one generator frame off the per-operation path.
+    # ``null_ok=True`` asserts the finisher maps all-``None``
+    # contributions to all-``None`` results, so the fast path may skip
+    # it for value-free steady loops; gather/allgather return lists even
+    # for ``None`` contributions and must keep the default.
+
     def barrier(self) -> _t.Generator:
         """Synchronise all ranks."""
-        yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Barrier", 0, lambda ctx, n: _alg.barrier_time(ctx),
             memo_key="barrier",
         )
-        return None
 
     def bcast(self, nbytes: float, root: int = 0, value: _t.Any = None) -> _t.Generator:
         """Broadcast ``nbytes`` from ``root``; returns root's ``value``."""
@@ -312,12 +326,11 @@ class Comm:
             v = contribs.get(root)
             return {r: v for r in contribs}
 
-        result = yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Bcast", nbytes, _alg.bcast_time,
             contribution=value if self.rank == root else None,
-            finisher=finisher, memo_key="bcast", root=root,
+            finisher=finisher, memo_key="bcast", root=root, null_ok=True,
         )
-        return result
 
     def reduce(
         self,
@@ -332,11 +345,11 @@ class Comm:
             total = _combine(contribs, op)
             return {r: (total if r == root else None) for r in contribs}
 
-        result = yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Reduce", nbytes, _alg.reduce_time,
             contribution=value, finisher=finisher, memo_key="reduce", root=root,
+            null_ok=True,
         )
-        return result
 
     def allreduce(
         self,
@@ -350,11 +363,11 @@ class Comm:
             total = _combine(contribs, op)
             return {r: total for r in contribs}
 
-        result = yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Allreduce", nbytes, _alg.allreduce_time,
             contribution=value, finisher=finisher, memo_key="allreduce",
+            null_ok=True,
         )
-        return result
 
     def gather(self, nbytes: float, root: int = 0, value: _t.Any = None) -> _t.Generator:
         """Gather per-rank contributions to ``root`` (list in rank order)."""
@@ -363,11 +376,10 @@ class Comm:
             ordered = [contribs[r] for r in sorted(contribs)]
             return {r: (ordered if r == root else None) for r in contribs}
 
-        result = yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Gather", nbytes, _alg.gather_time,
             contribution=value, finisher=finisher, memo_key="gather", root=root,
         )
-        return result
 
     def allgather(self, nbytes: float, value: _t.Any = None) -> _t.Generator:
         """All-gather; every rank receives the full list."""
@@ -376,11 +388,10 @@ class Comm:
             ordered = [contribs[r] for r in sorted(contribs)]
             return {r: ordered for r in contribs}
 
-        result = yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Allgather", nbytes, _alg.allgather_time,
             contribution=value, finisher=finisher, memo_key="allgather",
         )
-        return result
 
     def scatter(
         self, nbytes: float, root: int = 0, values: _t.Sequence[_t.Any] | None = None
@@ -397,12 +408,11 @@ class Comm:
                 )
             return {r: vals[r] for r in contribs}
 
-        result = yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Scatter", nbytes, _alg.scatter_time,
             contribution=values if self.rank == root else None,
-            finisher=finisher, memo_key="scatter", root=root,
+            finisher=finisher, memo_key="scatter", root=root, null_ok=True,
         )
-        return result
 
     def alltoall(
         self, nbytes_total: float, values: _t.Sequence[_t.Any] | None = None
@@ -422,11 +432,11 @@ class Comm:
                 ]
             return out
 
-        result = yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Alltoall", nbytes_total, _alg.alltoall_time,
             contribution=values, finisher=finisher, memo_key="alltoall",
+            null_ok=True,
         )
-        return result
 
     def alltoallv(
         self,
@@ -450,12 +460,11 @@ class Comm:
                 for r in contribs
             }
 
-        result = yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Alltoallv", total_send, time_fn,
             contribution=values, finisher=finisher,
-            memo_key=("alltoallv", max_pair),
+            memo_key=("alltoallv", max_pair), null_ok=True,
         )
-        return result
 
     def reduce_scatter(self, nbytes_total: float, value: _t.Any = None) -> _t.Generator:
         """Reduce-scatter of an ``nbytes_total`` buffer."""
@@ -464,12 +473,12 @@ class Comm:
             total = _combine(contribs, _sum_op)
             return {r: total for r in contribs}
 
-        result = yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Reduce_scatter", nbytes_total,
             lambda ctx, n: _alg.reduce_scatter_time(ctx, n),
             contribution=value, finisher=finisher, memo_key="reduce_scatter",
+            null_ok=True,
         )
-        return result
 
     def scan(
         self,
@@ -490,11 +499,11 @@ class Comm:
                 out[r] = acc
             return out
 
-        result = yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Scan", nbytes, _alg.allreduce_time,
             contribution=value, finisher=finisher, memo_key="allreduce",
+            null_ok=True,
         )
-        return result
 
     def exscan(
         self,
@@ -515,11 +524,26 @@ class Comm:
                     acc = v if acc is None else op(acc, v)
             return out
 
-        result = yield from self.world.collective(
+        return self.world.collective(
             self, "MPI_Exscan", nbytes, _alg.allreduce_time,
             contribution=value, finisher=finisher, memo_key="allreduce",
+            null_ok=True,
         )
-        return result
+
+    def prime_collectives(self, op: str, sizes: _t.Sequence[float]) -> int:
+        """Vector-price collective ``op`` for every size in ``sizes``.
+
+        With an active collective fast-forward this evaluates the
+        vectorized cost model (:mod:`repro.smpi.collectives.vectorized`)
+        once for the whole size sweep and seeds the results into the
+        memo and this communicator's duration cache; otherwise it is a
+        no-op.  Returns the number of sizes newly priced.  A plain call
+        (no ``yield``): priming consumes no virtual time.
+        """
+        fc = self.world.fastcollect
+        if fc is None:
+            return 0
+        return fc.prime(self, op, sizes)
 
     # -- Cartesian topology helpers -----------------------------------------
     def cart_coords(self, dims: _t.Sequence[int], rank: int | None = None) -> tuple[int, ...]:
@@ -578,8 +602,7 @@ class Comm:
         that uniquely pins down ``time_fn`` (including every closed-over
         parameter) opts the phase cost into the collective memo cache.
         """
-        yield from self.world.collective(self, name, nbytes, time_fn, memo_key=memo_key)
-        return None
+        return self.world.collective(self, name, nbytes, time_fn, memo_key=memo_key)
 
     # -- communicator management ---------------------------------------------------------
     def split(self, color: int, key: int | None = None) -> _t.Generator:

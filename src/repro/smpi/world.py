@@ -28,6 +28,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.sanitizer import SanitizerReport
     from repro.faults.report import ResilienceReport
     from repro.faults.schedule import FaultSchedule
+    from repro.perf.fastcollect import FastCollectReport
     from repro.perf.replay import ReplayReport
     from repro.smpi.comm import Comm
 
@@ -90,6 +91,17 @@ class MpiWorld:
         fault injector, tracing or a stochastic platform model is
         present — replay is a pure optimization, never a semantics
         change.
+    fastcollect:
+        Attach the analytic collective fast-forward
+        (:class:`~repro.perf.fastcollect.FastCollect`): collectives on a
+        draw-free, unobserved world complete through one pre-triggered
+        event priced from per-communicator caches instead of the
+        per-operation path, with byte-identical wake times and IPM
+        counters.  ``None`` (the default) defers to the scope/env
+        default (:func:`repro.perf.fastcollect.fastcollect_enabled`).
+        Shares replay's auto-fallback discipline (sanitizer, faults,
+        tracing, stochastic platforms ⇒ per-operation path with a
+        recorded reason).
     """
 
     def __init__(
@@ -103,6 +115,7 @@ class MpiWorld:
         sanitize: bool | None = None,
         faults: "FaultSchedule | str | None" = None,
         replay: bool | None = None,
+        fastcollect: bool | None = None,
     ) -> None:
         if isinstance(platform, PlatformSpec):
             self.engine = Engine(seed=seed)
@@ -147,6 +160,13 @@ class MpiWorld:
         if replay is None:
             replay = replay_enabled()
         self.replay = ReplayRecorder(self) if replay else None
+        # The collective fast-forward shares the recorder's disqualifier
+        # and is likewise constructed after every observer/perturber.
+        from repro.perf.fastcollect import FastCollect, fastcollect_enabled
+
+        if fastcollect is None:
+            fastcollect = fastcollect_enabled()
+        self.fastcollect = FastCollect(self) if fastcollect else None
 
     def record_interval(
         self, rank: int, start: float, end: float, kind: str, label: str
@@ -291,13 +311,15 @@ class MpiWorld:
         finisher: _t.Callable[[dict[int, _t.Any]], dict[int, _t.Any]] | None = None,
         memo_key: _t.Hashable = None,
         root: int | None = None,
+        null_ok: bool = False,
     ) -> _t.Generator:
-        """Execute one synchronising collective for the calling rank.
+        """One synchronising collective for the calling rank (dispatch).
 
         ``time_fn(ctx, nbytes)`` supplies the algorithm cost;
         ``finisher`` maps the {local rank: contribution} dict to a
         {local rank: result} dict once everyone has arrived (identity
-        results of ``None`` when omitted).  Returns this rank's result.
+        results of ``None`` when omitted).  The returned generator
+        yields until completion and returns this rank's result.
 
         ``memo_key`` opts the cost into the world's
         :class:`~repro.perf.memo.CollectiveMemo`: it must uniquely
@@ -307,8 +329,36 @@ class MpiWorld:
         on state outside the context.
 
         ``root`` is purely diagnostic: rooted collectives pass it so the
-        sanitizer can detect cross-rank root divergence.
+        sanitizer can detect cross-rank root divergence.  ``null_ok``
+        marks finishers that map all-``None`` contributions to
+        all-``None`` results (see
+        :meth:`repro.perf.fastcollect.FastCollect.collective`).
+
+        With an active :class:`~repro.perf.fastcollect.FastCollect` and
+        a ``memo_key``, the operation takes the closed-form fast path;
+        otherwise the per-operation path below.
         """
+        fc = self.fastcollect
+        if fc is not None and fc.active and memo_key is not None:
+            return fc.collective(
+                comm, name, nbytes, time_fn, contribution, finisher, memo_key, null_ok
+            )
+        return self._collective_slow(
+            comm, name, nbytes, time_fn, contribution, finisher, memo_key, root
+        )
+
+    def _collective_slow(
+        self,
+        comm: "Comm",
+        name: str,
+        nbytes: float,
+        time_fn: _t.Callable[[CollectiveContext, float], float],
+        contribution: _t.Any,
+        finisher: _t.Callable[[dict[int, _t.Any]], dict[int, _t.Any]] | None,
+        memo_key: _t.Hashable,
+        root: int | None,
+    ) -> _t.Generator:
+        """The per-operation collective path (sanitizer-aware)."""
         eng = self.engine
         my_local = comm.rank
         seq = comm._bump_seq()
@@ -332,6 +382,9 @@ class MpiWorld:
 
         if len(state.arrivals) == state.expected:
             del self._coll_states[key]
+            fc = self.fastcollect
+            if fc is not None and fc.active:
+                fc.slow_ops += 1
             ctx = self._collective_context(comm)
             if memo_key is not None:
                 duration = self.memo.time(memo_key, ctx, state.nbytes_seen, time_fn)
@@ -430,6 +483,11 @@ class MpiWorld:
             replay=(
                 self.replay.finalize_report() if self.replay is not None else None
             ),
+            fastcollect=(
+                self.fastcollect.finalize_report()
+                if self.fastcollect is not None
+                else None
+            ),
         )
 
 
@@ -447,6 +505,8 @@ class RunResult:
     #: What the iteration recorder captured/fast-forwarded (None when
     #: replay was not requested for this world).
     replay: "ReplayReport | None" = None
+    #: What the collective fast-forward did (None when not requested).
+    fastcollect: "FastCollectReport | None" = None
 
     @property
     def monitor(self) -> IpmMonitor:
