@@ -12,7 +12,14 @@ This package is the repository's correctness backstop (see
 * :mod:`repro.analysis.lint` — the static determinism linter
   (``repro lint``): flags wall-clock calls, unseeded randomness,
   ``id()``-ordering, set-iteration-order dependence, unpicklable
-  parallel workers and collectives under rank-dependent control flow.
+  parallel workers and collectives under rank-dependent control flow;
+  ``--deep`` adds the interprocedural cache-safety rules
+  (DET007-DET011).
+* :mod:`repro.analysis.static` — the whole-program analyzer
+  (``repro lint --deep``, ``repro fingerprint``): call-graph closures
+  of registered cell workers, semantic code fingerprints (the
+  journal-v2 / result-cache code-identity key), closure-attributed
+  hazard findings, SARIF output and baseline gating.
 * :mod:`repro.analysis.stats` — the derived quantities the paper
   reports (speedups, normalised times, Table III statistics); moved
   here from ``repro.core.analysis``, which remains as a shim.
@@ -33,6 +40,15 @@ from repro.analysis.sanitizer import (
     sanitize_enabled,
     sanitize_scope,
 )
+from repro.analysis.static import (
+    ModuleIndex,
+    StaticFinding,
+    StaticReport,
+    WorkerClosure,
+    analyze_workers,
+    worker_closure,
+    worker_fingerprint,
+)
 from repro.analysis.stats import (
     SectionStats,
     normalized_times,
@@ -45,9 +61,14 @@ __all__ = [
     "RULES",
     "Diagnostic",
     "LintFinding",
+    "ModuleIndex",
     "MpiSanitizer",
     "SanitizerReport",
     "SectionStats",
+    "StaticFinding",
+    "StaticReport",
+    "WorkerClosure",
+    "analyze_workers",
     "lint_file",
     "lint_paths",
     "lint_source",
@@ -58,4 +79,6 @@ __all__ = [
     "sanitize_scope",
     "speedup_series",
     "table3_stats",
+    "worker_closure",
+    "worker_fingerprint",
 ]

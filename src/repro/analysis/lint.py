@@ -20,13 +20,34 @@ DET005    parallel cell worker that is not picklable-by-construction
           (``@cell_worker`` on a nested function, or registering a lambda)
 DET006    collective call (``yield from comm.bcast(...)`` etc.) under
           rank-dependent control flow — a classic MPI deadlock pattern
+DET007    function mutates (or rebinds) a module-level global — hidden
+          state that differs between pool workers and across runs
+DET008    environment/filesystem read (``os.environ``, ``os.getenv``,
+          ``open``, ``read_text``/``read_bytes``) in simulation code —
+          results must depend only on the cell payload
+DET009    set order escaping into an ordered value (``list(set(...))``,
+          ``tuple({...})``, ``",".join(set(...))``)
+DET010    cell worker captures an unpicklable value (lambda default
+          argument, or returns a lambda)
+DET011    collective issued inside ``except``/``finally`` — ranks that
+          did not take the handler never post it (sequence mismatch)
+DET012    stale ``lint-ok`` suppression: the suppressed rule did not
+          fire on that line
 ========  ==================================================================
+
+Rules DET007–DET011 are *deep* rules: they only run during the
+whole-program closure analysis (``repro lint --deep``, backed by
+:mod:`repro.analysis.static`), where a finding can be attributed to the
+cell workers whose transitive call graph reaches it.  Plain
+``repro lint`` keeps to the intra-file rules DET000–DET006 (plus the
+DET012 staleness audit of suppressions for those rules).
 
 Suppress a finding by ending the offending line with a comment of the
 form ``# lint-ok: DET001 <reason>`` (rule list optional: a bare
-``# lint-ok`` suppresses every rule on that line).  The linter never
-imports the code it checks, so it is safe on broken or slow-to-import
-files.
+``# lint-ok`` suppresses every rule on that line).  A listed rule that
+did not actually fire on its line is itself reported (DET012), so
+suppressions cannot rot silently.  The linter never imports the code it
+checks, so it is safe on broken or slow-to-import files.
 """
 
 from __future__ import annotations
@@ -50,7 +71,20 @@ RULES: dict[str, str] = {
     "DET004": "iteration over an unordered set",
     "DET005": "parallel cell worker is not picklable-by-construction",
     "DET006": "collective call under rank-dependent control flow",
+    "DET007": "mutation of a module-level global",
+    "DET008": "environment/filesystem read in simulation code",
+    "DET009": "set iteration order escapes into an ordered value",
+    "DET010": "cell worker captures an unpicklable value",
+    "DET011": "collective issued in an except/finally block",
+    "DET012": "stale lint-ok suppression (rule did not fire)",
 }
+
+#: Rules that only run under the whole-program closure analysis
+#: (``repro lint --deep``); plain per-file lint never fires them, and a
+#: suppression listing one is not considered stale outside deep mode.
+DEEP_RULES: frozenset[str] = frozenset(
+    {"DET007", "DET008", "DET009", "DET010", "DET011"}
+)
 
 # The collective-method registry lives with the collectives themselves,
 # so rule DET006 stays in sync with the Comm API.
@@ -71,6 +105,14 @@ _RANDOM_MODULE_FNS = frozenset({
     "shuffle", "sample", "gauss", "normalvariate", "betavariate",
     "expovariate", "triangular", "getrandbits", "randbytes",
 })
+
+#: In-place mutators on the builtin containers (DET007).
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "sort", "reverse",
+})
+#: Attribute calls that read file contents (DET008).
+_FS_READ_METHODS = frozenset({"read_text", "read_bytes"})
 
 _SUPPRESS_RE = re.compile(
     r"lint-ok(?:\s*:\s*(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?"
@@ -146,8 +188,16 @@ def _is_set_expr(node: ast.AST) -> bool:
 class _FileLinter(ast.NodeVisitor):
     """Single-file rule engine (aliases are tracked file-wide)."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        deep: bool = False,
+        module_globals: frozenset[str] = frozenset(),
+    ) -> None:
         self.path = path
+        self.deep = deep
+        #: Names assigned at module level (DET007 mutation targets).
+        self.module_globals = module_globals
         self.findings: list[LintFinding] = []
         #: Local names bound to the relevant modules/classes.
         self.time_mods: set[str] = set()
@@ -156,6 +206,11 @@ class _FileLinter(ast.NodeVisitor):
         self.random_mods: set[str] = set()
         self.numpy_mods: set[str] = set()
         self.numpy_random_mods: set[str] = set()
+        self.os_mods: set[str] = set()
+        #: Local names bound to ``os.environ`` (``from os import environ``).
+        self.environ_names: set[str] = set()
+        #: Local names bound to ``os.getenv`` (``from os import getenv``).
+        self.getenv_names: set[str] = set()
         #: from-imported hazard functions: local name -> rule id.
         self.hazard_names: dict[str, str] = {}
         #: from-imported names needing a seed argument (default_rng, Random).
@@ -190,6 +245,8 @@ class _FileLinter(ast.NodeVisitor):
                 self.numpy_random_mods.add(alias.asname or "numpy")
                 if alias.asname is None:
                     self.numpy_mods.add("numpy")
+            elif alias.name == "os":
+                self.os_mods.add(local)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -211,6 +268,11 @@ class _FileLinter(ast.NodeVisitor):
                     self.seed_required[local] = "DET002"
             elif node.module == "numpy" and alias.name == "random":
                 self.numpy_random_mods.add(local)
+            elif node.module == "os":
+                if alias.name == "environ":
+                    self.environ_names.add(local)
+                elif alias.name == "getenv":
+                    self.getenv_names.add(local)
         self.generic_visit(node)
 
     # -- DET001 / DET002 / DET003 ------------------------------------------
@@ -218,6 +280,10 @@ class _FileLinter(ast.NodeVisitor):
         self._check_call_target(node)
         self._check_key_id(node)
         self._check_lambda_worker(node)
+        if self.deep:
+            self._check_global_mutation_call(node)
+            self._check_env_fs_read(node)
+            self._check_set_order_escape(node)
         self.generic_visit(node)
 
     def _check_call_target(self, node: ast.Call) -> None:
@@ -317,12 +383,15 @@ class _FileLinter(ast.NodeVisitor):
                        "lambda registered as a cell worker cannot be pickled")
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        if self._func_depth > 0 and any(
+        is_worker = any(
             self._is_cell_worker_deco(d) for d in node.decorator_list
-        ):
+        )
+        if self._func_depth > 0 and is_worker:
             self._flag(node, "DET005",
                        f"cell worker {node.name!r} is a nested function; "
                        "workers must be module-level to be picklable")
+        if self.deep and is_worker:
+            self._check_worker_captures(node)
         self._func_depth += 1
         self.generic_visit(node)
         self._func_depth -= 1
@@ -346,13 +415,185 @@ class _FileLinter(ast.NodeVisitor):
                     )
         self.generic_visit(node)
 
+    # -- DET007 (deep): module-level global mutation -----------------------
+    def _check_global_mutation_call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.module_globals
+            and self._func_depth > 0
+        ):
+            self._flag(node, "DET007",
+                       f"in-place mutation of module-level {func.value.id!r}")
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self.deep and self._func_depth > 0:
+            names = ", ".join(node.names)
+            self._flag(node, "DET007",
+                       f"global statement rebinds module-level {names}")
+        self.generic_visit(node)
+
+    def _deep_check_store(self, target: ast.AST, node: ast.AST) -> None:
+        """Subscript/attribute stores on module-level names (DET007)."""
+        if not (self.deep and self._func_depth > 0):
+            return
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id in self.module_globals
+            and base is not target  # a bare Name store is a local rebind
+        ):
+            self._flag(node, "DET007",
+                       f"store into module-level {base.id!r}")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._deep_check_store(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._deep_check_store(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._deep_check_store(target, node)
+        self.generic_visit(node)
+
+    # -- DET008 (deep): environment / filesystem reads ---------------------
+    def _check_env_fs_read(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            head, rest = dotted[0], dotted[1:]
+            if head in self.os_mods and rest[:1] == ("getenv",):
+                self._flag(node, "DET008", "os.getenv() read")
+                return
+            if head in self.os_mods and rest[:2] == ("environ", "get"):
+                self._flag(node, "DET008", "os.environ read")
+                return
+            if head in self.environ_names and rest[:1] == ("get",):
+                self._flag(node, "DET008", "os.environ read")
+                return
+            if len(dotted) == 1 and head in self.getenv_names:
+                self._flag(node, "DET008", "os.getenv() read")
+                return
+            if len(dotted) == 1 and head == "open":
+                self._flag(node, "DET008", "open() in simulation code")
+                return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_READ_METHODS
+        ):
+            self._flag(node, "DET008",
+                       f".{node.func.attr}() file read in simulation code")
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self.deep and isinstance(node.ctx, ast.Load):
+            dotted = _dotted(node.value)
+            if dotted is not None and (
+                (len(dotted) == 2 and dotted[0] in self.os_mods
+                 and dotted[1] == "environ")
+                or (len(dotted) == 1 and dotted[0] in self.environ_names)
+            ):
+                self._flag(node, "DET008", "os.environ[...] read")
+        self.generic_visit(node)
+
+    # -- DET009 (deep): set order escaping into an ordered value -----------
+    def _check_set_order_escape(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple")
+            and len(node.args) == 1
+            and _is_set_expr(node.args[0])
+        ):
+            self._flag(node, "DET009",
+                       f"{node.func.id}() over a set freezes an unstable "
+                       "order; use sorted()")
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and len(node.args) == 1
+            and _is_set_expr(node.args[0])
+        ):
+            self._flag(node, "DET009",
+                       "join() over a set freezes an unstable order; "
+                       "use sorted()")
+
+    # -- DET010 (deep): unpicklable captures in cell workers ---------------
+    def _check_worker_captures(self, node: ast.FunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, ast.Lambda):
+                self._flag(default, "DET010",
+                           f"cell worker {node.name!r} has a lambda default "
+                           "argument; pool workers cannot unpickle it")
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Return) and isinstance(sub.value, ast.Lambda):
+                self._flag(sub, "DET010",
+                           f"cell worker {node.name!r} returns a lambda; "
+                           "the result cannot cross a process boundary")
+
+    # -- DET011 (deep): collective in except/finally -----------------------
+    def visit_Try(self, node: ast.Try) -> None:
+        if self.deep:
+            blocks = [(h.body, "except") for h in node.handlers]
+            if node.finalbody:
+                blocks.append((node.finalbody, "finally"))
+            for body, kind in blocks:
+                for stmt in body:
+                    for sub in ast.walk(stmt):
+                        if not isinstance(sub, ast.YieldFrom):
+                            continue
+                        call = sub.value
+                        if (isinstance(call, ast.Call)
+                                and isinstance(call.func, ast.Attribute)
+                                and call.func.attr in COLLECTIVE_METHODS):
+                            self._flag(
+                                call, "DET011",
+                                f"collective {call.func.attr}() inside "
+                                f"{kind!r}; ranks that did not take this "
+                                "path never post it",
+                            )
+        self.generic_visit(node)
+
 
 # ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------
 
-def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
-    """Lint one source string; returns the unsuppressed findings."""
+def _module_globals(tree: ast.Module) -> frozenset[str]:
+    """Names bound by module-level assignments (DET007 targets)."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+    return frozenset(names)
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, deep: bool = False
+) -> list[LintFinding]:
+    """Lint one source string; returns the unsuppressed findings.
+
+    ``deep=True`` additionally runs the closure-analysis rules
+    DET007–DET011 (normally driven by :mod:`repro.analysis.static`,
+    which also attributes their findings to cell workers).  Suppression
+    comments whose listed rules did not fire — counting only the rules
+    enabled in this mode — are reported as DET012, which is itself never
+    suppressible.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -360,21 +601,58 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
             path=path, line=exc.lineno or 0, col=(exc.offset or 0),
             rule="DET000", message=f"syntax error: {exc.msg}",
         )]
-    linter = _FileLinter(path)
+    linter = _FileLinter(path, deep=deep, module_globals=_module_globals(tree))
     linter.visit(tree)
     suppressed = _suppressions(source)
+    fired_by_line: dict[int, set[str]] = {}
+    for f in linter.findings:
+        fired_by_line.setdefault(f.line, set()).add(f.rule)
     kept = []
     for f in sorted(linter.findings, key=lambda f: (f.line, f.col, f.rule)):
         rules = suppressed.get(f.line, ...)
         if rules is ... or (rules is not None and f.rule not in rules):
             kept.append(f)
+    for line, rules in sorted(suppressed.items()):
+        fired = fired_by_line.get(line, set())
+        if rules is None:
+            if not fired:
+                kept.append(LintFinding(
+                    path=path, line=line, col=1, rule="DET012",
+                    message="bare lint-ok with no finding on this line "
+                            f"[{RULES['DET012']}]",
+                ))
+            continue
+        for rule in sorted(rules):
+            if rule in DEEP_RULES and not deep:
+                continue  # only the deep analysis can judge these
+            if rule not in fired:
+                kept.append(LintFinding(
+                    path=path, line=line, col=1, rule="DET012",
+                    message=f"suppression lists {rule}, which did not fire "
+                            f"on this line [{RULES['DET012']}]",
+                ))
+    kept.sort(key=lambda f: (f.line, f.col, f.rule))
     return kept
 
 
-def lint_file(path: str | pathlib.Path) -> list[LintFinding]:
-    """Lint one file."""
+def lint_file(
+    path: str | pathlib.Path, *, deep: bool = False
+) -> list[LintFinding]:
+    """Lint one file.
+
+    An unreadable or non-UTF-8 file is reported as a DET000 finding
+    carrying the decode/OS error — a lint run must degrade to a finding,
+    never crash on bytes it cannot interpret.
+    """
     p = pathlib.Path(path)
-    return lint_source(p.read_text(encoding="utf-8"), str(p))
+    try:
+        source = p.read_text(encoding="utf-8")
+    except (UnicodeDecodeError, OSError) as exc:
+        return [LintFinding(
+            path=str(p), line=0, col=0, rule="DET000",
+            message=f"cannot read file: {exc}",
+        )]
+    return lint_source(source, str(p), deep=deep)
 
 
 def iter_python_files(paths: _t.Iterable[str | pathlib.Path]) -> list[pathlib.Path]:
@@ -400,11 +678,13 @@ def iter_python_files(paths: _t.Iterable[str | pathlib.Path]) -> list[pathlib.Pa
     return sorted(set(out))
 
 
-def lint_paths(paths: _t.Iterable[str | pathlib.Path]) -> list[LintFinding]:
+def lint_paths(
+    paths: _t.Iterable[str | pathlib.Path], *, deep: bool = False
+) -> list[LintFinding]:
     """Lint every ``.py`` file under ``paths`` (files or directories)."""
     findings: list[LintFinding] = []
     for f in iter_python_files(paths):
-        findings.extend(lint_file(f))
+        findings.extend(lint_file(f, deep=deep))
     return findings
 
 

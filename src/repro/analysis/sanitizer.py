@@ -141,7 +141,7 @@ def sanitize_enabled() -> bool:
     """Default ``sanitize=`` for worlds that don't pass one explicitly."""
     if _state["enabled"]:
         return True
-    return os.environ.get(_ENV_FLAG, "").strip() not in ("", "0")
+    return os.environ.get(_ENV_FLAG, "").strip() not in ("", "0")  # lint-ok: DET008 feature gate, read before simulation starts
 
 
 @contextlib.contextmanager
@@ -174,7 +174,7 @@ def sanitize_scope() -> _t.Iterator[list[SanitizerReport]]:
 
 def _record_report(report: SanitizerReport) -> None:
     if _state["collecting"]:
-        _collected.append(report)
+        _collected.append(report)  # lint-ok: DET007 observer-side report collection, never in results
 
 
 # ---------------------------------------------------------------------------

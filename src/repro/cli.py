@@ -40,6 +40,13 @@ Exit codes
 ``lint [paths...]``
     Static determinism linter over ``src``/``benchmarks`` (or the given
     paths); exits 1 when findings remain (see ``docs/analysis.md``).
+    ``--deep`` adds the whole-program analysis (call-graph closures,
+    DET007-DET011, per-worker code fingerprints); ``--format sarif``
+    and ``--baseline`` support CI gating on new findings only.
+``fingerprint [workers...]``
+    Print (or ``--check`` the stability of) the semantic code
+    fingerprint of each registered cell worker — the journal-v2 /
+    result-cache code-identity key.
 ``osu <platform>``
     Run the OSU latency + bandwidth pair on one platform.
 ``npb <bench> <platform> <nprocs>``
@@ -154,19 +161,91 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
-    from repro.analysis.lint import lint_paths, render_findings
+    from repro.analysis.lint import RULES, lint_paths, render_findings
 
+    fmt = args.format
+    if args.json:  # pre---format spelling, kept for compatibility
+        fmt = "json"
     paths = args.paths or ["src", "benchmarks"]
-    findings = lint_paths(paths)
-    if args.json:
-        print(json.dumps([
+    # Per-file scan stays intra-file (DET001-DET006); the deep rules
+    # (DET007-DET011) are interprocedural by definition and run over
+    # the worker call-graph closures in analyze_workers() below.
+    findings: list[_t.Any] = list(lint_paths(paths))
+    report = None
+    if args.deep:
+        from repro.analysis.static import analyze_workers
+
+        report = analyze_workers()
+        findings.extend(report.findings)
+    if args.baseline:
+        from repro.analysis.static import load_baseline, new_findings
+
+        findings = new_findings(findings, load_baseline(args.baseline))
+    if fmt == "sarif":
+        from repro.analysis.static import to_sarif
+
+        print(json.dumps(to_sarif(findings, RULES), indent=2))
+    elif fmt == "json":
+        payload: _t.Any = [
             {"path": f.path, "line": f.line, "col": f.col,
-             "rule": f.rule, "message": f.message}
+             "rule": f.rule, "message": f.message,
+             **({"workers": list(f.workers)} if hasattr(f, "workers") else {})}
             for f in findings
-        ], indent=2))
+        ]
+        if args.deep and report is not None:
+            payload = {"findings": payload,
+                       "workers": report.to_dict()["workers"]}
+        print(json.dumps(payload, indent=2))
     else:
-        print(render_findings(findings))
+        if args.deep and report is not None:
+            for c in report.closures:
+                print(f"  {c.describe()}")
+        plain = [f for f in findings if not hasattr(f, "workers")]
+        deep = [f for f in findings if hasattr(f, "workers")]
+        if plain or not deep:
+            print(render_findings(plain))
+        for f in deep:
+            print(f.render())
     return 1 if findings else 0
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.static import ModuleIndex, worker_closure
+
+    index = ModuleIndex()
+    names = sorted(index.workers()) if (args.all or not args.workers) \
+        else list(args.workers)
+    closures = [worker_closure(w, index) for w in names]
+    if args.check:
+        # Recompute from a fresh index: any nondeterminism in parsing,
+        # traversal or hashing shows up as a mismatch.
+        fresh = ModuleIndex()
+        for c in closures:
+            again = worker_closure(c.worker, fresh)
+            if again.fingerprint != c.fingerprint:
+                print(
+                    f"[unstable] {c.worker}: {c.fingerprint} != "
+                    f"{again.fingerprint}",
+                    file=sys.stderr,
+                )
+                return 1
+        print(f"[ok] {len(closures)} fingerprint(s) stable", file=sys.stderr)
+    if args.json:
+        print(json.dumps(
+            {c.worker: {
+                "fingerprint": c.fingerprint,
+                "root": list(c.root),
+                "definitions": len(c.definitions),
+                "modules": list(c.modules),
+            } for c in closures},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for c in closures:
+            print(c.describe())
+    return 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -384,13 +463,53 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true", help="JSON output")
 
     lint = sub.add_parser(
-        "lint", help="static determinism linter (DET001-DET006)"
+        "lint", help="static determinism linter (DET001-DET012)"
     )
     lint.add_argument(
         "paths", nargs="*",
         help="files/directories to lint (default: src benchmarks)",
     )
-    lint.add_argument("--json", action="store_true", help="JSON findings")
+    lint.add_argument(
+        "--json", action="store_true",
+        help="JSON findings (same as --format json)",
+    )
+    lint.add_argument(
+        "--deep", action="store_true",
+        help="whole-program analysis: resolve every registered cell "
+             "worker's call-graph closure, enable the interprocedural "
+             "rules (DET007-DET011) over it, and print per-worker code "
+             "fingerprints",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="output format (default text)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="suppress findings whose (path, rule) pair appears in this "
+             "committed baseline JSON; exit 1 only on new findings",
+    )
+
+    fingerprint = sub.add_parser(
+        "fingerprint",
+        help="semantic code fingerprints of registered cell workers",
+    )
+    fingerprint.add_argument(
+        "workers", nargs="*",
+        help="worker names (default: all statically registered workers)",
+    )
+    fingerprint.add_argument(
+        "--all", action="store_true",
+        help="fingerprint every statically registered worker",
+    )
+    fingerprint.add_argument(
+        "--check", action="store_true",
+        help="recompute each fingerprint from a fresh module index and "
+             "exit 1 on any instability",
+    )
+    fingerprint.add_argument(
+        "--json", action="store_true", help="JSON output"
+    )
 
     bench = sub.add_parser("bench", help="performance microbenchmarks")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
@@ -451,6 +570,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
     "npb": _cmd_npb,
     "verify": _cmd_verify,
     "lint": _cmd_lint,
+    "fingerprint": _cmd_fingerprint,
     "faults": _cmd_faults,
     "bench": _cmd_bench,
 }

@@ -321,7 +321,7 @@ def resolve_schedule(
 
 def default_schedule() -> "FaultSchedule | None":
     """Schedule for worlds that don't pass ``faults=`` explicitly."""
-    spec = os.environ.get(ENV_FLAG, "").strip()
+    spec = os.environ.get(ENV_FLAG, "").strip()  # lint-ok: DET008 feature gate, read before simulation starts
     if not spec or spec == "0":
         return None
     return FaultSchedule.parse(spec)

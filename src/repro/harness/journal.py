@@ -14,10 +14,22 @@ Record kinds
 ------------
 ``cell``
     A completed cell: namespace (experiment id / sweep name), cell key,
-    worker name, payload hash (over ``(worker, args)``) and the result.
+    worker name, payload hash (over ``(worker, args)``), the worker's
+    static code fingerprint when one is known
+    (:func:`repro.analysis.static.worker_fingerprint`) and the result.
 ``event``
     Supervision bookkeeping (retries, degradations) for postmortems;
     ignored on resume.
+
+Format versions
+---------------
+Every record carries a ``v`` field.  Version 2 (current) widened the
+payload hash from 16 to 32 hex chars and added the optional ``code``
+fingerprint.  Version 1 journals stay readable: their 16-char hashes
+match by prefix and they carry no code fingerprint, so resume behaves
+exactly as it did before.  Records from a *newer* format than this
+process understands are skipped with a recorded reason (see
+:func:`read_journal`) rather than crashing the resume.
 
 Cell keys and results may contain tuples and non-string dict keys
 (e.g. the OSU curves are ``dict[int, float]``), which plain JSON cannot
@@ -37,7 +49,7 @@ import typing as _t
 from repro.errors import ConfigError
 
 #: Bump when the record layout changes incompatibly.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -86,7 +98,19 @@ def payload_hash(worker: str, args: _t.Sequence[_t.Any]) -> str:
     blob = json.dumps(
         [worker, encode_value(tuple(args))], sort_keys=True, separators=(",", ":")
     )
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def hash_matches(entry_hash: str, digest: str) -> bool:
+    """Whether a journaled payload hash matches a freshly computed one.
+
+    Format v1 stored the first 16 hex chars of the same SHA-256, so a
+    16-char journal value matches by prefix; anything else must match
+    exactly.
+    """
+    if entry_hash == digest:
+        return True
+    return len(entry_hash) == 16 and digest.startswith(entry_hash)
 
 
 # ---------------------------------------------------------------------------
@@ -95,13 +119,36 @@ def payload_hash(worker: str, args: _t.Sequence[_t.Any]) -> str:
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class JournalEntry:
-    """One completed cell loaded from a journal."""
+    """One completed cell loaded from a journal.
+
+    ``code_fingerprint`` is the worker's static code fingerprint at
+    record time, or ``None`` for v1 records and workers the static
+    analysis cannot see (e.g. test-local registrations).
+    """
 
     namespace: str
     key: tuple
     worker: str
     payload_hash: str
     result: _t.Any
+    code_fingerprint: str | None = None
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SkippedRecord:
+    """One journal record that resume could not use, and why."""
+
+    lineno: int
+    version: _t.Any
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class JournalRead:
+    """Everything :func:`read_journal` learned from a journal file."""
+
+    entries: dict[tuple[str, tuple], JournalEntry]
+    skipped: tuple[SkippedRecord, ...]
 
 
 class RunJournal:
@@ -120,10 +167,20 @@ class RunJournal:
         self._fh: _t.TextIO | None = open(self.path, "a", encoding="utf-8")
 
     def record_cell(
-        self, namespace: str, key: tuple, worker: str, digest: str, result: _t.Any
+        self,
+        namespace: str,
+        key: tuple,
+        worker: str,
+        digest: str,
+        result: _t.Any,
+        code: str | None = None,
     ) -> None:
-        """Journal one completed cell."""
-        self._write({
+        """Journal one completed cell.
+
+        ``code`` is the worker's static code fingerprint when known;
+        resume uses it to refuse entries produced by different code.
+        """
+        record: dict[str, _t.Any] = {
             "kind": "cell",
             "v": FORMAT_VERSION,
             "ns": namespace,
@@ -131,7 +188,10 @@ class RunJournal:
             "worker": worker,
             "hash": digest,
             "result": encode_value(result),
-        })
+        }
+        if code is not None:
+            record["code"] = code
+        self._write(record)
 
     def record_event(
         self, namespace: str, key: tuple, event: str, **fields: _t.Any
@@ -165,18 +225,23 @@ class RunJournal:
         self.close()
 
 
-def load_journal(path: str | pathlib.Path) -> dict[tuple[str, tuple], JournalEntry]:
-    """Load completed cells from ``path``, keyed by ``(namespace, key)``.
+def read_journal(path: str | pathlib.Path) -> JournalRead:
+    """Read ``path`` into completed cells plus skipped-record accounting.
 
-    A torn final line (the signature of a killed run) is silently
-    dropped; corruption anywhere else raises :class:`ConfigError`.  When
-    a cell appears more than once (a resumed run appending to its own
-    journal) the last record wins.
+    Entries are keyed by ``(namespace, key)``.  A torn final line (the
+    signature of a killed run) is silently dropped; corruption anywhere
+    else raises :class:`ConfigError`.  When a cell appears more than
+    once (a resumed run appending to its own journal) the last record
+    wins.  Records written by a *newer* format version than this
+    process understands — or carrying a non-integer version — are never
+    a crash: they are skipped, with a :class:`SkippedRecord` explaining
+    why, so old code degrades to re-simulating those cells.
     """
     p = pathlib.Path(path)
     if not p.exists():
         raise ConfigError(f"resume journal not found: {p}")
     entries: dict[tuple[str, tuple], JournalEntry] = {}
+    skipped: list[SkippedRecord] = []
     lines = p.read_text(encoding="utf-8").splitlines()
     for lineno, line in enumerate(lines, start=1):
         if not line.strip():
@@ -189,6 +254,20 @@ def load_journal(path: str | pathlib.Path) -> dict[tuple[str, tuple], JournalEnt
             raise ConfigError(f"corrupt journal record at {p}:{lineno}") from None
         if not isinstance(rec, dict) or rec.get("kind") != "cell":
             continue
+        version = rec.get("v")
+        if not isinstance(version, int) or isinstance(version, bool):
+            skipped.append(SkippedRecord(
+                lineno, version,
+                f"non-integer format version {version!r}",
+            ))
+            continue
+        if version > FORMAT_VERSION:
+            skipped.append(SkippedRecord(
+                lineno, version,
+                f"format version {version} is newer than supported "
+                f"version {FORMAT_VERSION}",
+            ))
+            continue
         try:
             ns = rec["ns"]
             key = decode_value(rec["key"])
@@ -198,8 +277,18 @@ def load_journal(path: str | pathlib.Path) -> dict[tuple[str, tuple], JournalEnt
                 worker=rec["worker"],
                 payload_hash=rec["hash"],
                 result=decode_value(rec["result"]),
+                code_fingerprint=rec.get("code"),
             )
         except (KeyError, TypeError):
             raise ConfigError(f"malformed journal record at {p}:{lineno}") from None
         entries[(ns, key)] = entry
-    return entries
+    return JournalRead(entries=entries, skipped=tuple(skipped))
+
+
+def load_journal(path: str | pathlib.Path) -> dict[tuple[str, tuple], JournalEntry]:
+    """Completed cells from ``path`` keyed by ``(namespace, key)``.
+
+    Thin wrapper over :func:`read_journal` for callers that do not need
+    the skipped-record accounting.
+    """
+    return read_journal(path).entries

@@ -72,7 +72,7 @@ def cell_worker(name: str) -> _t.Callable[[_t.Callable], _t.Callable]:
                 "module-level function; pool workers cannot unpickle "
                 "lambdas or nested functions"
             )
-        _WORKERS[name] = fn
+        _WORKERS[name] = fn  # lint-ok: DET007 import-time worker registration, not run-time state
         return fn
 
     return deco

@@ -18,9 +18,10 @@ needs:
   instead of aborting the sweep;
 * **crash-safe journal/resume** — each completed cell is appended to a
   JSONL journal (:mod:`repro.harness.journal`); resuming from a journal
-  skips cells whose key and payload hash match, merging journaled
-  results by key so an interrupted-and-resumed sweep is byte-identical
-  to an uninterrupted one.
+  skips cells whose key, payload hash and (when known) static code
+  fingerprint match, merging journaled results by key so an
+  interrupted-and-resumed sweep is byte-identical to an uninterrupted
+  one — while an entry recorded by *different code* is re-simulated.
 
 Cells that exhaust their attempts surface as structured
 :class:`~repro.errors.CellExecutionError` entries on the returned
@@ -48,7 +49,12 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.errors import CellExecutionError, ConfigError, ReproError
-from repro.harness.journal import RunJournal, load_journal, payload_hash
+from repro.harness.journal import (
+    RunJournal,
+    hash_matches,
+    load_journal,
+    payload_hash,
+)
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.harness.parallel import Cell
@@ -251,9 +257,24 @@ class _Task:
 
     cell: "Cell"
     digest: str
+    code: str | None = None  # static code fingerprint of the worker
     attempts: int = 0  # failed attempts so far
     causes: list[str] = dataclasses.field(default_factory=list)
     demoted: bool = False
+
+
+def _code_fingerprint(worker: str, cache: dict[str, str | None]) -> str | None:
+    """Static code fingerprint for ``worker``, memoized per call.
+
+    ``None`` when the worker is not statically registered (e.g. defined
+    in a test module) — the journal then carries no code identity for
+    it, matching pre-v2 behaviour.
+    """
+    if worker not in cache:
+        from repro.analysis.static import worker_fingerprint
+
+        cache[worker] = worker_fingerprint(worker)
+    return cache[worker]
 
 
 def run_cells_supervised(
@@ -298,20 +319,31 @@ def _run_supervised(
     results: dict[tuple, _t.Any] = {}
     failures: dict[tuple, CellExecutionError] = {}
 
+    # Code fingerprints are only relevant when results are persisted or
+    # reused; a plain supervised run skips the static analysis entirely.
+    fingerprints: dict[str, str | None] = {}
+    want_code = scope.journal is not None or scope.resume is not None
+
     tasks: list[_Task] = []
     for c in cells:
         digest = payload_hash(c.worker, c.args)
+        code = _code_fingerprint(c.worker, fingerprints) if want_code else None
         if scope.resume is not None:
             entry = scope.resume.get((ns, c.key))
             if (
                 entry is not None
-                and entry.payload_hash == digest
+                and hash_matches(entry.payload_hash, digest)
                 and entry.worker == c.worker
+                and (
+                    entry.code_fingerprint is None
+                    or code is None
+                    or entry.code_fingerprint == code
+                )
             ):
                 results[c.key] = entry.result
                 stats.journal_hits += 1
                 continue
-        tasks.append(_Task(c, digest))
+        tasks.append(_Task(c, digest, code))
 
     jobs_n = resolve_jobs(jobs)
     pending = tasks
@@ -353,7 +385,8 @@ def _record_success(
     results[task.cell.key] = value
     if scope.journal is not None:
         scope.journal.record_cell(
-            ns, task.cell.key, task.cell.worker, task.digest, value
+            ns, task.cell.key, task.cell.worker, task.digest, value,
+            code=task.code,
         )
 
 

@@ -71,7 +71,7 @@ ENV_FLAG = "REPRO_FASTCOLLECT"
 
 def fastcollect_enabled() -> bool:
     """Default for worlds that don't pass ``fastcollect=`` explicitly."""
-    return os.environ.get(ENV_FLAG, "").strip() not in ("", "0")
+    return os.environ.get(ENV_FLAG, "").strip() not in ("", "0")  # lint-ok: DET008 feature gate, read before simulation starts
 
 
 #: Reports of worlds finalized inside the innermost scope.
@@ -105,7 +105,7 @@ def fastcollect_scope(enabled: bool = True) -> _t.Iterator[list["FastCollectRepo
 
 def _note_report(report: "FastCollectReport") -> None:
     if _SCOPE_REPORTS is not None:
-        _SCOPE_REPORTS.append(report)
+        _SCOPE_REPORTS.append(report)  # lint-ok: DET007 scope-local report collection, never in results
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

@@ -85,7 +85,7 @@ DEFAULT_REL_TOL = 1e-9
 
 def replay_enabled() -> bool:
     """Default for worlds that don't pass ``replay=`` explicitly."""
-    return os.environ.get(ENV_FLAG, "").strip() not in ("", "0")
+    return os.environ.get(ENV_FLAG, "").strip() not in ("", "0")  # lint-ok: DET008 feature gate, read before simulation starts
 
 
 #: Reports of worlds finalized inside the innermost :func:`replay_scope`.
@@ -119,7 +119,7 @@ def replay_scope(enabled: bool = True) -> _t.Iterator[list["ReplayReport"]]:
 
 def _note_report(report: "ReplayReport") -> None:
     if _SCOPE_REPORTS is not None:
-        _SCOPE_REPORTS.append(report)
+        _SCOPE_REPORTS.append(report)  # lint-ok: DET007 scope-local report collection, never in results
 
 
 def perturbation_reason(world: "MpiWorld") -> str | None:

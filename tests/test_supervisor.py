@@ -502,3 +502,155 @@ def test_env_supervision_is_invisible_on_clean_runs(monkeypatch):
     monkeypatch.delenv("REPRO_SUPERVISE")
     plain = run_cells(cells, jobs=1)
     assert supervised == plain
+
+
+# ---------------------------------------------------------------------------
+# Journal format v2: versioning, wide hashes, code fingerprints
+# ---------------------------------------------------------------------------
+
+class TestJournalFormatV2:
+    def test_records_carry_version_and_wide_hash(self, tmp_path):
+        jpath = tmp_path / "run.jsonl"
+        run_cells_supervised(
+            [Cell((3,), "sup_square", (3,))],
+            jobs=1, policy=SupervisorPolicy(journal=jpath),
+        )
+        (rec,) = [json.loads(l) for l in jpath.read_text().splitlines()]
+        assert rec["v"] == 2
+        assert len(rec["hash"]) == 32
+        # sup_square is registered from this test module, outside the
+        # static index, so the record carries no code fingerprint.
+        assert "code" not in rec
+
+    def test_payload_hash_is_32_hex(self):
+        digest = payload_hash("sup_square", (3,))
+        assert len(digest) == 32
+        int(digest, 16)  # hex
+
+    def test_v1_journal_still_resumes(self, tmp_path):
+        """A v1 record (16-char hash, no code field) is honoured."""
+        jpath = tmp_path / "v1.jsonl"
+        digest16 = payload_hash("sup_square", (5,))[:16]
+        jpath.write_text(json.dumps({
+            "kind": "cell", "v": 1, "ns": "",
+            "key": {"__tuple__": [5]},
+            "worker": "sup_square", "hash": digest16,
+            "result": {"v": 25.0},
+        }) + "\n")
+        report = run_cells_supervised(
+            [Cell((5,), "sup_square", (5,))],
+            jobs=1, policy=SupervisorPolicy(resume=jpath),
+        )
+        assert report.stats.journal_hits == 1
+        assert report.results[(5,)] == {"v": 25.0}
+
+    def test_newer_version_skipped_with_reason(self, tmp_path):
+        from repro.harness.journal import read_journal
+
+        jpath = tmp_path / "future.jsonl"
+        digest = payload_hash("sup_square", (4,))
+        jpath.write_text(json.dumps({
+            "kind": "cell", "v": 99, "ns": "",
+            "key": {"__tuple__": [4]},
+            "worker": "sup_square", "hash": digest,
+            "result": {"v": -1.0}, "frobnicate": True,
+        }) + "\n")
+        read = read_journal(jpath)
+        assert read.entries == {}
+        (skip,) = read.skipped
+        assert skip.lineno == 1 and skip.version == 99
+        assert "newer than supported" in skip.reason
+        # And resume re-simulates instead of crashing or trusting it.
+        report = run_cells_supervised(
+            [Cell((4,), "sup_square", (4,))],
+            jobs=1, policy=SupervisorPolicy(resume=jpath),
+        )
+        assert report.stats.journal_hits == 0
+        assert report.results[(4,)] == {"v": 16.0}
+
+    def test_non_integer_version_skipped_with_reason(self, tmp_path):
+        from repro.harness.journal import read_journal
+
+        jpath = tmp_path / "odd.jsonl"
+        jpath.write_text(json.dumps({
+            "kind": "cell", "v": "two", "ns": "",
+            "key": {"__tuple__": [1]},
+            "worker": "sup_square", "hash": "x", "result": {},
+        }) + "\n")
+        read = read_journal(jpath)
+        assert read.entries == {}
+        (skip,) = read.skipped
+        assert "non-integer format version" in skip.reason
+
+    def test_hash_matches_semantics(self):
+        from repro.harness.journal import hash_matches
+
+        digest = "ab" * 16
+        assert hash_matches(digest, digest)
+        assert hash_matches(digest[:16], digest)      # v1 prefix
+        assert not hash_matches(digest[:15], digest)  # wrong width
+        assert not hash_matches("cd" * 16, digest)
+        assert not hash_matches("cd" * 8, digest)
+
+
+class TestCodeFingerprintResume:
+    """Resume is keyed by code identity for statically known workers."""
+
+    CELL = Cell(
+        ("r", 0.001), "faults_point",
+        (0.001, 300.0, 600.0, 5.0, 10.0, 1, 1),
+    )
+
+    def test_journal_records_code_for_registered_worker(self, tmp_path):
+        from repro.analysis.static import worker_fingerprint
+
+        jpath = tmp_path / "fp.jsonl"
+        run_cells_supervised(
+            [self.CELL], jobs=1, policy=SupervisorPolicy(journal=jpath),
+        )
+        (rec,) = [json.loads(l) for l in jpath.read_text().splitlines()]
+        assert rec["code"] == worker_fingerprint("faults_point")
+        assert len(rec["code"]) == 32
+
+    def test_matching_fingerprint_resumes_byte_identically(self, tmp_path):
+        jpath = tmp_path / "fp.jsonl"
+        clean = run_cells_supervised(
+            [self.CELL], jobs=1, policy=SupervisorPolicy(journal=jpath),
+        )
+        resumed = run_cells_supervised(
+            [self.CELL], jobs=1, policy=SupervisorPolicy(resume=jpath),
+        )
+        assert resumed.stats.journal_hits == 1
+        assert repr(resumed.results) == repr(clean.results)
+
+    def test_code_mismatch_forces_re_simulation(self, tmp_path):
+        jpath = tmp_path / "fp.jsonl"
+        run_cells_supervised(
+            [self.CELL], jobs=1, policy=SupervisorPolicy(journal=jpath),
+        )
+        (rec,) = [json.loads(l) for l in jpath.read_text().splitlines()]
+        rec["code"] = "0" * 32  # the worker's code has "changed"
+        rec["result"] = {"completion_time": -1.0}
+        jpath.write_text(json.dumps(rec) + "\n")
+        report = run_cells_supervised(
+            [self.CELL], jobs=1, policy=SupervisorPolicy(resume=jpath),
+        )
+        # The stale-code entry must not be trusted: the cell re-runs
+        # and produces the genuine result.
+        assert report.stats.journal_hits == 0
+        assert report.results[self.CELL.key]["completion_time"] > 0
+
+    def test_entry_without_code_still_resumes(self, tmp_path):
+        """A v2 entry from a run that couldn't fingerprint (or a v1
+        journal) is accepted — absence of identity is not a mismatch."""
+        jpath = tmp_path / "fp.jsonl"
+        run_cells_supervised(
+            [self.CELL], jobs=1, policy=SupervisorPolicy(journal=jpath),
+        )
+        (rec,) = [json.loads(l) for l in jpath.read_text().splitlines()]
+        del rec["code"]
+        jpath.write_text(json.dumps(rec) + "\n")
+        report = run_cells_supervised(
+            [self.CELL], jobs=1, policy=SupervisorPolicy(resume=jpath),
+        )
+        assert report.stats.journal_hits == 1
