@@ -19,6 +19,8 @@ Commands
     the supervised harness (watchdog, bounded retries, degrade),
     ``--journal PATH`` appends completed cells to a crash-safe JSONL
     journal and ``--resume PATH`` skips cells already journaled there,
+    ``--store PATH`` serves/publishes cells through the content-addressed
+    global cell store (also via ``REPRO_STORE``; see ``docs/caching.md``),
     ``--json``/``--csv``/``--out`` export results.
 
 Exit codes
@@ -37,6 +39,12 @@ Exit codes
 ``faults sweep``
     Sweep the checkpoint/restart model over failure rate x checkpoint
     interval (see ``docs/resilience.md``).
+``store <op> <path>``
+    Maintain a content-addressed cell store (``docs/caching.md``):
+    ``stats`` tallies records/shards/workers, ``verify`` re-derives
+    every record's key and payload hash (exit 1 on integrity problems),
+    ``gc`` compacts stale/duplicate/malformed records, ``export`` and
+    ``import`` move records between hosts as a single JSONL file.
 ``lint [paths...]``
     Static determinism linter over ``src``/``benchmarks`` (or the given
     paths); exits 1 when findings remain (see ``docs/analysis.md``).
@@ -115,11 +123,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         replay=args.replay, fastcollect=args.fastcollect,
         sim_iters=args.sim_iters,
         supervisor=_supervisor_policy(args),
+        store=args.store,
         progress=lambda eid: print(f"[running] {eid}", file=sys.stderr),
     )
     print(batch.render())
     if batch.harness_summary:
         print(f"[{batch.harness_summary}]", file=sys.stderr)
+    if batch.store_summary:
+        print(f"[{batch.store_summary}]", file=sys.stderr)
     if args.json:
         batch.write_json(args.json)
         print(f"[written] {args.json}", file=sys.stderr)
@@ -263,6 +274,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             seed=args.seed,
             jobs=args.jobs,
             supervisor=_supervisor_policy(args),
+            store=args.store,
         )
         if args.json:
             print(json.dumps(result.to_dict(), indent=2))
@@ -270,8 +282,55 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             print(result.render())
         if result.harness_summary:
             print(f"[{result.harness_summary}]", file=sys.stderr)
+        if result.store_summary:
+            print(f"[{result.store_summary}]", file=sys.stderr)
         return 3 if result.failures else 0
     raise AssertionError(f"unhandled faults subcommand {args.faults_command!r}")
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.harness.cellstore import CellStore
+
+    store = CellStore(args.path)
+    if args.store_command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats.to_dict(), indent=2))
+        else:
+            print(stats.render())
+        return 0
+    if args.store_command == "verify":
+        report = store.verify()
+        print(report.render())
+        return 0 if report.clean else 1
+    if args.store_command == "gc":
+        report = store.gc(
+            drop_unknown=args.drop_unknown, dry_run=args.dry_run
+        )
+        print(report.render())
+        return 0
+    if args.store_command == "export":
+        if args.out:
+            count = store.export(args.out)
+            print(f"[exported] {count} record(s) to {args.out}", file=sys.stderr)
+        else:
+            count = 0
+            for line in store.export_lines():
+                print(line)
+                count += 1
+            print(f"[exported] {count} record(s)", file=sys.stderr)
+        return 0
+    if args.store_command == "import":
+        added, dup, invalid = store.import_file(args.file)
+        print(
+            f"[imported] {added} record(s) added, {dup} already present, "
+            f"{invalid} invalid skipped",
+            file=sys.stderr,
+        )
+        return 0 if invalid == 0 else 1
+    raise AssertionError(f"unhandled store subcommand {args.store_command!r}")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -323,7 +382,7 @@ def _cmd_npb(args: argparse.Namespace) -> int:
 
 
 def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
-    """Shared supervised-harness flags for sweep-running commands."""
+    """Shared harness flags (supervision + cell store) for sweep commands."""
     parser.add_argument(
         "--supervise", action="store_true",
         help="run sweep cells under the supervised harness: watchdog "
@@ -354,6 +413,14 @@ def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
              "their results by key — the report is byte-identical to an "
              "uninterrupted run; keeps journaling into PATH (implies "
              "--supervise)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="serve sweep cells from (and publish fresh results to) the "
+             "content-addressed cell store rooted at PATH, shared across "
+             "runs and hosts; entries are keyed by worker + args + code "
+             "fingerprint so they can never go stale (also via "
+             "REPRO_STORE; see docs/caching.md)",
     )
 
 
@@ -511,6 +578,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="JSON output"
     )
 
+    store = sub.add_parser(
+        "store",
+        help="content-addressed global cell result store maintenance",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    st_stats = store_sub.add_parser(
+        "stats", help="record/shard/worker tallies for a store"
+    )
+    st_stats.add_argument("path", help="store root directory")
+    st_stats.add_argument("--json", action="store_true", help="JSON output")
+    st_verify = store_sub.add_parser(
+        "verify",
+        help="re-derive every record's key and payload hash; exit 1 on "
+             "integrity problems (torn lines are tolerated and reported)",
+    )
+    st_verify.add_argument("path", help="store root directory")
+    st_gc = store_sub.add_parser(
+        "gc",
+        help="compact the store: drop stale (code-fingerprint-mismatched), "
+             "duplicate, malformed and torn records",
+    )
+    st_gc.add_argument("path", help="store root directory")
+    st_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be dropped without rewriting shards",
+    )
+    st_gc.add_argument(
+        "--drop-unknown", action="store_true",
+        help="also drop records for workers this host cannot fingerprint "
+             "(default: keep them — they may still serve another host)",
+    )
+    st_export = store_sub.add_parser(
+        "export",
+        help="dump all records as one deterministic JSONL stream for "
+             "cross-host sharing",
+    )
+    st_export.add_argument("path", help="store root directory")
+    st_export.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    st_import = store_sub.add_parser(
+        "import",
+        help="merge an exported JSONL file into a store (each record is "
+             "re-validated; existing keys are kept)",
+    )
+    st_import.add_argument("path", help="store root directory")
+    st_import.add_argument("file", help="exported JSONL file to merge")
+
     bench = sub.add_parser("bench", help="performance microbenchmarks")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
     engine = bench_sub.add_parser(
@@ -573,6 +689,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
     "fingerprint": _cmd_fingerprint,
     "faults": _cmd_faults,
     "bench": _cmd_bench,
+    "store": _cmd_store,
 }
 
 
@@ -581,9 +698,11 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except ReproError as exc:
+    except (ReproError, ValueError) as exc:
         # Fatal: bad configuration or an unhandled failure (exit 1);
         # partial supervised sweeps return 3 from the command itself.
+        # ValueError covers argument-validation errors raised below
+        # argparse, e.g. a negative --jobs.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except BrokenPipeError:  # e.g. piping into `head`

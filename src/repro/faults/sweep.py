@@ -48,6 +48,10 @@ class SweepResult:
     #: differ between a resumed and an uninterrupted run, and both must
     #: produce byte-identical reports.  The CLI prints it to stderr.
     harness_summary: str | None = None
+    #: One-line ``store: ...`` cell-store banner (None without a store).
+    #: Stderr-only for the same byte-identity reason: a warm-store sweep
+    #: serves every cell while a cold one executes them all.
+    store_summary: str | None = None
 
     def render(self) -> str:
         """Fixed-width grid of mean time-to-completion (s); one row per
@@ -122,6 +126,7 @@ def sweep_failure_checkpoint(
     seed: int = 1,
     jobs: int = 1,
     supervisor: "SupervisorPolicy | None" = None,
+    store: _t.Any | None = None,
 ) -> SweepResult:
     """Sweep the checkpoint/restart model over ``rates x intervals``.
 
@@ -133,6 +138,14 @@ def sweep_failure_checkpoint(
     policy make the sweep resumable (journal keys are namespaced
     ``faults-sweep``).  A clean supervised sweep renders byte-identical
     output to an unsupervised one.
+
+    ``store`` (a path or a :class:`~repro.harness.cellstore.CellStore`)
+    activates the content-addressed global cell store for the sweep:
+    cells already published — by any previous run, on any host sharing
+    the store — are served without executing, and fresh cells are
+    published back.  A warm-store sweep renders byte-identical output
+    with zero cells executed; the ``store: ...`` banner lands in
+    :attr:`SweepResult.store_summary` (stderr-only).
     """
     if not rates or not intervals:
         raise ConfigError("faults sweep needs at least one rate and one interval")
@@ -153,17 +166,29 @@ def sweep_failure_checkpoint(
     ]
     failures: dict[tuple[float, float], CellExecutionError] = {}
     harness_summary: str | None = None
-    if supervisor is not None:
-        from repro.harness.supervisor import run_cells_supervised
+    store_summary: str | None = None
 
-        report = run_cells_supervised(
-            cells, jobs=jobs, policy=supervisor, namespace=SWEEP_NAMESPACE
-        )
-        results = report.results
-        failures = report.failures
-        harness_summary = report.banner()
+    def _execute_grid() -> dict[tuple, _t.Any]:
+        nonlocal failures, harness_summary
+        if supervisor is not None:
+            from repro.harness.supervisor import run_cells_supervised
+
+            report = run_cells_supervised(
+                cells, jobs=jobs, policy=supervisor, namespace=SWEEP_NAMESPACE
+            )
+            failures = report.failures
+            harness_summary = report.banner()
+            return report.results
+        return run_cells(cells, jobs=jobs)
+
+    if store is not None:
+        from repro.harness.cellstore import store_scope
+
+        with store_scope(store) as cs:
+            results = _execute_grid()
+        store_summary = cs.banner()
     else:
-        results = run_cells(cells, jobs=jobs)
+        results = _execute_grid()
     return SweepResult(
         work=float(work),
         checkpoint_cost=float(checkpoint_cost),
@@ -175,4 +200,5 @@ def sweep_failure_checkpoint(
         cells=dict(results),
         failures=failures,
         harness_summary=harness_summary,
+        store_summary=store_summary,
     )

@@ -1,0 +1,601 @@
+"""Content-addressed global cell result store: simulate once, serve millions.
+
+The resume journal (:mod:`repro.harness.journal`) persists completed
+cells for *one* interrupted run.  This module generalises that idea
+into a store shared across runs, hosts and users: every cell result is
+keyed by a canonical content hash of
+
+* the registered **worker name**,
+* its **encoded arguments** (the journal's typed encoding, so tuples
+  and int-keyed dicts hash stably),
+* the worker's static **code fingerprint**
+  (:func:`repro.analysis.static.worker_fingerprint` — the semantic
+  identity of every function the worker can reach), and
+* the journal **format version** (so an encoding change can never
+  alias old records).
+
+Because the code fingerprint participates in the key, entries can never
+go stale: editing any function in a worker's call-graph closure moves
+the key, so old results simply stop being found — they are garbage, not
+hazards — and ``repro store gc`` reclaims them.  A worker without a
+static fingerprint (e.g. one registered from a test module) bypasses
+the store entirely: no code identity means no safe cache key.
+
+Storage layout
+--------------
+An append-friendly sharded directory, safe for concurrent writers::
+
+    <root>/cells/<first-two-hex-of-key>.jsonl
+
+Each record is one self-contained JSON line appended with a single
+``O_APPEND`` ``write`` and fsynced, so concurrent publishers on the
+same shard interleave whole records; readers tolerate torn records
+anywhere (a half-written line is skipped, never fatal).  Duplicate keys
+are resolved last-record-wins on read and compacted by ``gc``.
+
+Wiring
+------
+:func:`repro.harness.parallel.run_cells` and the supervisor consult the
+active store before dispatching any cell and publish fresh results
+after.  A store becomes active via :func:`store_scope` (what
+``repro run --store PATH`` and ``run_batch(store=...)`` use) or the
+``REPRO_STORE`` environment variable.  Store hits merge by cell key
+exactly like journal hits, so a store-served sweep renders
+byte-identically to a fresh one — the CI round-trip guard holds this.
+
+The ``repro store`` CLI exposes maintenance: ``stats``, ``verify``
+(full integrity re-derivation of every key and payload hash), ``gc``
+(drop stale/duplicate/malformed records) and ``export``/``import`` for
+cross-host sharing.  See ``docs/caching.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.harness.journal import (
+    FORMAT_VERSION as JOURNAL_FORMAT_VERSION,
+    decode_value,
+    encode_value,
+    payload_hash,
+)
+
+#: Bump when the store record layout changes incompatibly.
+STORE_VERSION = 1
+
+#: Hex chars of the key used to pick a shard file (256 shards).
+SHARD_WIDTH = 2
+
+
+class _Miss:
+    """Sentinel for "not in the store" (distinct from a stored ``None``)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<store miss>"
+
+
+#: Returned by :meth:`CellStore.lookup` when no servable entry exists.
+MISS = _Miss()
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _is_hex(value: _t.Any, length: int | None = None) -> bool:
+    """Whether ``value`` is a lowercase hex string (of ``length`` chars)."""
+    if not isinstance(value, str) or (length is not None and len(value) != length):
+        return False
+    return bool(value) and all(c in _HEX_DIGITS for c in value)
+
+
+def store_key(worker: str, args: _t.Sequence[_t.Any], code: str) -> str:
+    """Canonical content-address of one cell result.
+
+    The digest covers ``(journal format version, worker, encoded args,
+    code fingerprint)``; any change to the worker's reachable code (or
+    to the typed encoding itself) moves the key, which is the store's
+    entire staleness story — entries are immutable and can only ever
+    stop being found.
+    """
+    blob = json.dumps(
+        [JOURNAL_FORMAT_VERSION, worker, encode_value(tuple(args)), code],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _worker_code(worker: str) -> str | None:
+    """Static code fingerprint of ``worker`` (None: no safe cache key)."""
+    from repro.analysis.static import worker_fingerprint
+
+    return worker_fingerprint(worker)
+
+
+def record_problem(rec: _t.Any) -> str | None:
+    """Why ``rec`` is not a well-formed store record (None: it is).
+
+    Shared by :meth:`CellStore.verify`, ``gc`` and ``import``: a record
+    is well-formed when every field is present and the key re-derives
+    from the payload — so a corrupted or hand-edited record can never
+    be served as a different cell's result.
+    """
+    if not isinstance(rec, dict):
+        return "record is not an object"
+    version = rec.get("v")
+    if not isinstance(version, int) or isinstance(version, bool):
+        return f"non-integer store version {version!r}"
+    if version > STORE_VERSION:
+        return f"store version {version} is newer than supported {STORE_VERSION}"
+    for field in ("k", "worker", "args", "code", "hash", "result"):
+        if field not in rec:
+            return f"missing field {field!r}"
+    if not _is_hex(rec["k"], 64):
+        return "key is not 64 lowercase hex chars"
+    if not isinstance(rec["worker"], str) or not rec["worker"]:
+        return "worker is not a non-empty string"
+    if not _is_hex(rec["code"]):
+        return "code fingerprint is not lowercase hex"
+    if not _is_hex(rec["hash"], 32):
+        return "payload hash is not 32 lowercase hex chars"
+    args = decode_value(rec["args"])
+    if not isinstance(args, tuple):
+        return "args do not decode to a tuple"
+    if store_key(rec["worker"], args, rec["code"]) != rec["k"]:
+        return "key does not re-derive from (worker, args, code)"
+    if payload_hash(rec["worker"], args) != rec["hash"]:
+        return "payload hash does not re-derive from (worker, args)"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(slots=True)
+class StoreStats:
+    """What ``repro store stats`` reports."""
+
+    root: str
+    shards: int = 0
+    records: int = 0
+    unique_keys: int = 0
+    torn_lines: int = 0
+    bytes: int = 0
+    workers: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"# cell store at {self.root}",
+            f"shards       : {self.shards}",
+            f"records      : {self.records}",
+            f"unique keys  : {self.unique_keys}",
+            f"torn lines   : {self.torn_lines}",
+            f"bytes        : {self.bytes}",
+        ]
+        for worker in sorted(self.workers):
+            lines.append(f"  {worker:<16} {self.workers[worker]} record(s)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, _t.Any]:
+        return {
+            "root": self.root,
+            "shards": self.shards,
+            "records": self.records,
+            "unique_keys": self.unique_keys,
+            "torn_lines": self.torn_lines,
+            "bytes": self.bytes,
+            "workers": {w: self.workers[w] for w in sorted(self.workers)},
+        }
+
+
+@dataclasses.dataclass(slots=True)
+class VerifyReport:
+    """What ``repro store verify`` found.
+
+    ``problems`` are structural integrity failures (a parseable record
+    whose key or hash does not re-derive, or that sits in the wrong
+    shard) — these fail the gate.  ``torn_lines`` are unparseable lines
+    (the signature of a writer killed mid-append); tolerated by every
+    reader, so they are reported but do not fail verification.
+    """
+
+    ok: int = 0
+    torn_lines: int = 0
+    problems: list[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        lines = [
+            f"store verify: {self.ok} record(s) ok, "
+            f"{self.torn_lines} torn line(s), "
+            f"{len(self.problems)} problem(s)"
+        ]
+        lines.extend(f"  {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(slots=True)
+class GcReport:
+    """What ``repro store gc`` did (or, with ``dry_run``, would do)."""
+
+    kept: int = 0
+    dropped_stale: int = 0
+    dropped_duplicate: int = 0
+    dropped_malformed: int = 0
+    dropped_unknown: int = 0
+    dropped_torn: int = 0
+    dry_run: bool = False
+
+    @property
+    def dropped(self) -> int:
+        return (
+            self.dropped_stale + self.dropped_duplicate
+            + self.dropped_malformed + self.dropped_unknown
+            + self.dropped_torn
+        )
+
+    def render(self) -> str:
+        verb = "would drop" if self.dry_run else "dropped"
+        return (
+            f"store gc: kept {self.kept}, {verb} {self.dropped} "
+            f"({self.dropped_stale} stale, {self.dropped_duplicate} duplicate, "
+            f"{self.dropped_malformed} malformed, {self.dropped_unknown} "
+            f"unknown-worker, {self.dropped_torn} torn)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+class CellStore:
+    """One content-addressed store rooted at a directory.
+
+    Instances are cheap (no open handles are held between operations)
+    and safe to use from many processes at once: publishes are single
+    ``O_APPEND`` writes and reads tolerate torn records.  Hit/miss/
+    publish counters accumulate on the instance — the source of the
+    ``store: ...`` banner a batch prints to stderr.
+    """
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.published = 0
+
+    # -- paths ------------------------------------------------------------
+    @property
+    def cells_dir(self) -> pathlib.Path:
+        return self.root / "cells"
+
+    def shard_path(self, key: str) -> pathlib.Path:
+        return self.cells_dir / f"{key[:SHARD_WIDTH]}.jsonl"
+
+    def shard_files(self) -> list[pathlib.Path]:
+        """All shard files, in deterministic (name) order."""
+        if not self.cells_dir.is_dir():
+            return []
+        return sorted(self.cells_dir.glob("*.jsonl"))
+
+    # -- scanning ---------------------------------------------------------
+    @staticmethod
+    def _scan_shard(
+        path: pathlib.Path,
+    ) -> _t.Iterator[tuple[int, str, _t.Any | None]]:
+        """Yield ``(lineno, line, record-or-None)`` for one shard file.
+
+        ``None`` marks a torn/unparseable line — tolerated everywhere,
+        accounted by ``stats``/``verify`` and reclaimed by ``gc``.
+        """
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                rec = None
+            yield lineno, line, rec
+
+    # -- the hot path -----------------------------------------------------
+    def lookup(self, worker: str, args: _t.Sequence[_t.Any]) -> _t.Any:
+        """The stored result for ``(worker, args)``, or :data:`MISS`.
+
+        A hit requires the full content address to match: the record's
+        key (which bakes in the code fingerprint current *now*), its
+        payload hash, and its worker name.  An entry published by
+        different code therefore can never be served — the never-stale
+        discipline shared with the journal and ``CollectiveMemo``.
+        """
+        code = _worker_code(worker)
+        if code is None:
+            self.misses += 1
+            return MISS
+        key = store_key(worker, args, code)
+        digest = payload_hash(worker, args)
+        found: _t.Any = MISS
+        for _lineno, _line, rec in self._scan_shard(self.shard_path(key)):
+            if (
+                isinstance(rec, dict)
+                and rec.get("k") == key
+                and rec.get("worker") == worker
+                and rec.get("code") == code
+                and rec.get("hash") == digest
+                and "result" in rec
+            ):
+                found = decode_value(rec["result"])  # last record wins
+        if found is MISS:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def publish(
+        self, worker: str, args: _t.Sequence[_t.Any], result: _t.Any
+    ) -> bool:
+        """Append one result record; False when the worker is uncacheable.
+
+        The append is a single ``O_APPEND`` write of one complete line,
+        fsynced before the descriptor closes, so concurrent publishers
+        (other processes, other hosts on a shared filesystem) interleave
+        whole records.
+        """
+        code = _worker_code(worker)
+        if code is None:
+            return False
+        key = store_key(worker, args, code)
+        record = {
+            "v": STORE_VERSION,
+            "k": key,
+            "worker": worker,
+            "args": encode_value(tuple(args)),
+            "code": code,
+            "hash": payload_hash(worker, args),
+            "result": encode_value(result),
+        }
+        line = json.dumps(record, sort_keys=True) + "\n"
+        path = self.shard_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self.published += 1
+        return True
+
+    def banner(self) -> str:
+        """One-line ``store: ...`` summary (stderr only, never in reports)."""
+        return (
+            f"store: {self.hits + self.misses} lookup(s): "
+            f"{self.hits} served, {self.misses} executed, "
+            f"{self.published} published"
+        )
+
+    # -- maintenance ------------------------------------------------------
+    def stats(self) -> StoreStats:
+        """Record/shard/worker tallies over the whole store."""
+        out = StoreStats(root=str(self.root))
+        keys: set[str] = set()
+        for shard in self.shard_files():
+            out.shards += 1
+            out.bytes += shard.stat().st_size
+            for _lineno, _line, rec in self._scan_shard(shard):
+                if rec is None:
+                    out.torn_lines += 1
+                    continue
+                out.records += 1
+                if isinstance(rec, dict):
+                    if isinstance(rec.get("k"), str):
+                        keys.add(rec["k"])
+                    worker = rec.get("worker")
+                    if isinstance(worker, str):
+                        out.workers[worker] = out.workers.get(worker, 0) + 1
+        out.unique_keys = len(keys)
+        return out
+
+    def verify(self) -> VerifyReport:
+        """Re-derive every record's key and payload hash from its payload.
+
+        The integrity gate CI runs after populating a store: any
+        parseable record that fails :func:`record_problem`, or that
+        lives in the wrong shard file, is a problem; torn lines are
+        reported but tolerated (readers skip them).
+        """
+        report = VerifyReport()
+        for shard in self.shard_files():
+            for lineno, _line, rec in self._scan_shard(shard):
+                where = f"{shard.name}:{lineno}"
+                if rec is None:
+                    report.torn_lines += 1
+                    continue
+                problem = record_problem(rec)
+                if problem is None and shard.name != f"{rec['k'][:SHARD_WIDTH]}.jsonl":
+                    problem = f"record in wrong shard (key {rec['k'][:8]}...)"
+                if problem is not None:
+                    report.problems.append(f"{where}: {problem}")
+                else:
+                    report.ok += 1
+        return report
+
+    def gc(self, *, drop_unknown: bool = False, dry_run: bool = False) -> GcReport:
+        """Compact the store, dropping records that can never be served.
+
+        Dropped: malformed/torn records, duplicate keys (last record
+        wins, matching read semantics), records whose code fingerprint
+        differs from the worker's *current* fingerprint (stale — the
+        never-stale key discipline means they are unreachable garbage),
+        and — only with ``drop_unknown`` — records for workers this
+        host cannot fingerprint (they may still serve another host).
+        Shards are rewritten to a temp file and atomically renamed, so
+        concurrent readers always see a complete shard.
+        """
+        report = GcReport(dry_run=dry_run)
+        for shard in self.shard_files():
+            survivors: dict[str, str] = {}  # key -> line, last wins
+            for _lineno, line, rec in self._scan_shard(shard):
+                if rec is None:
+                    report.dropped_torn += 1
+                    continue
+                if record_problem(rec) is not None:
+                    report.dropped_malformed += 1
+                    continue
+                current = _worker_code(rec["worker"])
+                if current is None:
+                    if drop_unknown:
+                        report.dropped_unknown += 1
+                        continue
+                elif current != rec["code"]:
+                    report.dropped_stale += 1
+                    continue
+                if rec["k"] in survivors:
+                    report.dropped_duplicate += 1
+                survivors[rec["k"]] = line
+            report.kept += len(survivors)
+            if dry_run:
+                continue
+            if not survivors:
+                shard.unlink()
+                continue
+            tmp = shard.with_suffix(".jsonl.tmp")
+            body = "".join(
+                survivors[k] + "\n" for k in sorted(survivors)
+            )
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(body)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, shard)
+        return report
+
+    def export_lines(self) -> _t.Iterator[str]:
+        """All well-formed records as JSON lines, sorted by key.
+
+        Duplicates collapse last-wins; the output is deterministic for
+        a given store content, so two hosts can diff their exports.
+        """
+        records: dict[str, str] = {}
+        for shard in self.shard_files():
+            for _lineno, line, rec in self._scan_shard(shard):
+                if rec is None or record_problem(rec) is not None:
+                    continue
+                records[rec["k"]] = line
+        for key in sorted(records):
+            yield records[key]
+
+    def export(self, path: str | pathlib.Path) -> int:
+        """Write :meth:`export_lines` to ``path``; returns the record count."""
+        count = 0
+        out = pathlib.Path(path)
+        with open(out, "w", encoding="utf-8") as fh:
+            for line in self.export_lines():
+                fh.write(line + "\n")
+                count += 1
+        return count
+
+    def import_file(self, path: str | pathlib.Path) -> tuple[int, int, int]:
+        """Merge an exported JSONL file into this store.
+
+        Every record is re-validated (:func:`record_problem`) before it
+        is appended to its shard — a tampered export cannot plant a
+        record whose key does not re-derive from its payload.  Returns
+        ``(added, skipped_existing, skipped_invalid)``.
+        """
+        src = pathlib.Path(path)
+        if not src.exists():
+            raise ConfigError(f"store import file not found: {src}")
+        existing: set[str] = set()
+        for shard in self.shard_files():
+            for _lineno, _line, rec in self._scan_shard(shard):
+                if isinstance(rec, dict) and isinstance(rec.get("k"), str):
+                    existing.add(rec["k"])
+        added = skipped_existing = skipped_invalid = 0
+        for lineno, line in enumerate(
+            src.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                skipped_invalid += 1
+                continue
+            if record_problem(rec) is not None:
+                skipped_invalid += 1
+                continue
+            if rec["k"] in existing:
+                skipped_existing += 1
+                continue
+            shard = self.shard_path(rec["k"])
+            shard.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(shard, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+            try:
+                os.write(fd, (line + "\n").encode("utf-8"))
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            existing.add(rec["k"])
+            added += 1
+        return added, skipped_existing, skipped_invalid
+
+
+# ---------------------------------------------------------------------------
+# Activation: scope + environment
+# ---------------------------------------------------------------------------
+
+_STORE: contextvars.ContextVar[CellStore | None] = contextvars.ContextVar(
+    "repro_cell_store", default=None
+)
+
+#: Stores resolved from ``REPRO_STORE``, one per path, so hit/miss
+#: counters survive across the many ``run_cells`` calls of one process.
+_ENV_STORES: dict[str, CellStore] = {}
+
+
+def active_store() -> CellStore | None:
+    """The cell store in force, if any.
+
+    An explicit :func:`store_scope` wins; otherwise ``REPRO_STORE``
+    names a store root (resolved once per path per process).  Store
+    consultation happens only in the dispatching process — pool workers
+    never touch the store, so this is free of cross-process races
+    beyond the append-safe file protocol itself.
+    """
+    store = _STORE.get()
+    if store is not None:
+        return store
+    path = os.environ.get("REPRO_STORE", "").strip()
+    if not path:
+        return None
+    store = _ENV_STORES.get(path)
+    if store is None:
+        store = _ENV_STORES[path] = CellStore(path)
+    return store
+
+
+@contextlib.contextmanager
+def store_scope(store: CellStore | str | pathlib.Path) -> _t.Iterator[CellStore]:
+    """Make ``store`` (an instance or a root path) active for the body."""
+    if not isinstance(store, CellStore):
+        store = CellStore(store)
+    token = _STORE.set(store)
+    try:
+        yield store
+    finally:
+        _STORE.reset(token)

@@ -101,13 +101,28 @@ def payload_hash(worker: str, args: _t.Sequence[_t.Any]) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _is_hex_hash(value: _t.Any) -> bool:
+    """Whether ``value`` is a plausible stored digest: a non-empty,
+    even-length, lowercase-hex string (hex digests always pair chars)."""
+    if not isinstance(value, str) or not value or len(value) % 2:
+        return False
+    return all(c in _HEX_DIGITS for c in value)
+
+
 def hash_matches(entry_hash: str, digest: str) -> bool:
     """Whether a journaled payload hash matches a freshly computed one.
 
     Format v1 stored the first 16 hex chars of the same SHA-256, so a
     16-char journal value matches by prefix; anything else must match
-    exactly.
+    exactly.  Either way the journaled value must itself *be* a digest
+    — lowercase hex of even length — so a corrupted or hand-edited
+    journal entry can never false-positive into a resume or store hit.
     """
+    if not _is_hex_hash(entry_hash):
+        return False
     if entry_hash == digest:
         return True
     return len(entry_hash) == 16 and digest.startswith(entry_hash)
@@ -214,9 +229,16 @@ class RunJournal:
         os.fsync(self._fh.fileno())
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        """Close the journal; safe to call any number of times.
+
+        The handle is detached *before* it is closed, so even a close
+        that raises (e.g. a full disk flushing buffered bytes) leaves
+        the journal in the closed state and a repeat call is a no-op —
+        double-close and close-after-``__exit__`` never raise.
+        """
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            fh.close()
 
     def __enter__(self) -> "RunJournal":
         return self
@@ -229,13 +251,15 @@ def read_journal(path: str | pathlib.Path) -> JournalRead:
     """Read ``path`` into completed cells plus skipped-record accounting.
 
     Entries are keyed by ``(namespace, key)``.  A torn final line (the
-    signature of a killed run) is silently dropped; corruption anywhere
-    else raises :class:`ConfigError`.  When a cell appears more than
-    once (a resumed run appending to its own journal) the last record
-    wins.  Records written by a *newer* format version than this
-    process understands — or carrying a non-integer version — are never
-    a crash: they are skipped, with a :class:`SkippedRecord` explaining
-    why, so old code degrades to re-simulating those cells.
+    signature of a killed run) is silently dropped.  Corruption anywhere
+    else — an unparseable mid-file line, or a cell record missing a
+    field — never aborts the read: the damaged record becomes a
+    :class:`SkippedRecord` with a recorded reason and resume simply
+    re-simulates that cell.  When a cell appears more than once (a
+    resumed run appending to its own journal) the last record wins.
+    Records written by a *newer* format version than this process
+    understands — or carrying a non-integer version — are skipped the
+    same way, so old code degrades to re-simulating those cells.
     """
     p = pathlib.Path(path)
     if not p.exists():
@@ -251,7 +275,14 @@ def read_journal(path: str | pathlib.Path) -> JournalRead:
         except json.JSONDecodeError:
             if lineno == len(lines):
                 break  # torn final write from a killed run
-            raise ConfigError(f"corrupt journal record at {p}:{lineno}") from None
+            # Mid-file corruption (a concurrent writer died mid-append,
+            # disk bitrot, a hand edit): the record is lost either way,
+            # but the cells around it are not — skip it with a recorded
+            # reason and let resume re-simulate just that cell.
+            skipped.append(SkippedRecord(
+                lineno, None, "unparseable JSON (corrupted record)",
+            ))
+            continue
         if not isinstance(rec, dict) or rec.get("kind") != "cell":
             continue
         version = rec.get("v")
@@ -280,7 +311,10 @@ def read_journal(path: str | pathlib.Path) -> JournalRead:
                 code_fingerprint=rec.get("code"),
             )
         except (KeyError, TypeError):
-            raise ConfigError(f"malformed journal record at {p}:{lineno}") from None
+            skipped.append(SkippedRecord(
+                lineno, version, "malformed cell record (missing/invalid field)",
+            ))
+            continue
         entries[(ns, key)] = entry
     return JournalRead(entries=entries, skipped=tuple(skipped))
 

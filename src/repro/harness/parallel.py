@@ -145,9 +145,18 @@ def check_unique_keys(cells: _t.Sequence[Cell]) -> None:
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalise a ``--jobs`` value (``None``/``0`` → all CPUs)."""
-    if jobs is None or jobs <= 0:
+    """Normalise a ``--jobs`` value (``None``/``0`` → all CPUs).
+
+    Only ``None`` and ``0`` mean "all CPUs"; a negative value is a typo
+    (``--jobs -2``) that used to be silently promoted to all-CPUs and
+    now raises a clear :class:`ValueError` instead.
+    """
+    if jobs is None or jobs == 0:
         return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(
+            f"jobs must be >= 0 (0 or omitted = all CPUs), got {jobs}"
+        )
     return jobs
 
 
@@ -165,7 +174,15 @@ def run_cells(cells: _t.Sequence[Cell], jobs: int = 1) -> dict[tuple, _t.Any]:
     Under an active supervision scope (or ``REPRO_SUPERVISE=1``) the
     cells run through :mod:`repro.harness.supervisor` instead — same
     mapping, same values, plus watchdog/retry/degrade/journal handling.
+
+    Under an active cell store (:func:`repro.harness.cellstore.store_scope`
+    or ``REPRO_STORE``) each cell is first looked up by its content
+    address — worker, encoded args, code fingerprint — and served from
+    the store when present; only the misses execute, and their fresh
+    results are published back.  Served and fresh results merge by key
+    in cell order, so a store-backed sweep renders byte-identically.
     """
+    from repro.harness import cellstore as _cellstore
     from repro.harness import supervisor as _supervisor
 
     supervised = _supervisor.supervised_results(cells, jobs)
@@ -174,29 +191,49 @@ def run_cells(cells: _t.Sequence[Cell], jobs: int = 1) -> dict[tuple, _t.Any]:
     cells = list(cells)
     check_unique_keys(cells)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(cells) <= 1:
-        return {c.key: _execute(c) for c in cells}
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(cells)), initializer=_pool_worker_init
-    ) as pool:
-        futures = [pool.submit(_execute, c) for c in cells]
-        out: dict[tuple, _t.Any] = {}
-        for c, f in zip(cells, futures):
-            try:
-                out[c.key] = f.result()
-            except BrokenProcessPool as exc:
-                raise CellExecutionError(
-                    key=c.key,
-                    worker=c.worker,
-                    attempts=1,
-                    cause="worker-death",
-                    detail=(
-                        f"{exc} (a pool worker process died; run under "
-                        "supervision — --supervise / REPRO_SUPERVISE=1 — "
-                        "to retry or degrade instead of aborting)"
-                    ),
-                ) from exc
-        return out
+
+    store = _cellstore.active_store()
+    served: dict[tuple, _t.Any] = {}
+    pending = cells
+    if store is not None:
+        pending = []
+        for c in cells:
+            value = store.lookup(c.worker, c.args)
+            if value is _cellstore.MISS:
+                pending.append(c)
+            else:
+                served[c.key] = value
+
+    fresh: dict[tuple, _t.Any] = {}
+    if jobs <= 1 or len(pending) <= 1:
+        for c in pending:
+            fresh[c.key] = _execute(c)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)), initializer=_pool_worker_init
+        ) as pool:
+            futures = [pool.submit(_execute, c) for c in pending]
+            for c, f in zip(pending, futures):
+                try:
+                    fresh[c.key] = f.result()
+                except BrokenProcessPool as exc:
+                    raise CellExecutionError(
+                        key=c.key,
+                        worker=c.worker,
+                        attempts=1,
+                        cause="worker-death",
+                        detail=(
+                            f"{exc} (a pool worker process died; run under "
+                            "supervision — --supervise / REPRO_SUPERVISE=1 — "
+                            "to retry or degrade instead of aborting)"
+                        ),
+                    ) from exc
+    if store is not None:
+        for c in pending:
+            store.publish(c.worker, c.args, fresh[c.key])
+    return {
+        c.key: served[c.key] if c.key in served else fresh[c.key] for c in cells
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -39,6 +39,12 @@ class BatchResult:
     #: one, and the rendered report must stay byte-identical across
     #: both.  The CLI prints it to stderr.
     harness_summary: str | None = None
+    #: One-line ``store: ...`` cell-store banner (None when the batch ran
+    #: without a store).  Also stderr-only and absent from
+    #: :meth:`render`: its served/executed tallies differ between a
+    #: cold-store and a warm-store run, and both must render
+    #: byte-identical reports.
+    store_summary: str | None = None
     #: Experiments whose sweep cells ultimately failed, by experiment id.
     #: Their outputs render as explicit ``FAILED(<cause>)`` entries and
     #: the CLI exits 3 ("partial") when this is non-empty.
@@ -115,6 +121,7 @@ def run_batch(
     fastcollect: bool | None = None,
     sim_iters: int | None = None,
     supervisor: "SupervisorPolicy | None" = None,
+    store: "str | pathlib.Path | None" = None,
     progress: _t.Callable[[str], None] | None = None,
 ) -> BatchResult:
     """Run ``experiment_ids`` (default: every registered experiment).
@@ -164,6 +171,17 @@ def run_batch(
     (collected in :attr:`BatchResult.failures`) while the rest of the
     batch keeps running, and the one-line banner lands in
     :attr:`BatchResult.harness_summary`.
+
+    ``store`` activates the content-addressed global cell store
+    (:mod:`repro.harness.cellstore`) rooted at that path for the whole
+    batch: every sweep cell is first looked up by content address —
+    worker, encoded args, current code fingerprint — and served without
+    executing when present; fresh results are published back.  A
+    warm-store batch executes zero cell workers and still renders
+    byte-identically to a cold one; the ``store: ...`` banner lands in
+    :attr:`BatchResult.store_summary` (stderr-only, like the harness
+    banner).  Composes with supervision and the journal: resume hits
+    win over store hits, and both are never served across a code edit.
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -251,13 +269,23 @@ def run_batch(
             )
         return result
 
-    if supervisor is None:
-        result = _run_perf()
-    else:
+    def _run_supervised_perf() -> BatchResult:
+        if supervisor is None:
+            return _run_perf()
         from repro.harness.supervisor import supervision_scope
 
         with supervision_scope(supervisor) as sup:
             result = _run_perf()
         result.harness_summary = sup.banner()
+        return result
+
+    if store is None:
+        result = _run_supervised_perf()
+    else:
+        from repro.harness.cellstore import store_scope
+
+        with store_scope(store) as cs:
+            result = _run_supervised_perf()
+        result.store_summary = cs.banner()
     result.failures = dict(cell_failures)
     return result

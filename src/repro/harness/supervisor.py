@@ -21,7 +21,13 @@ needs:
   skips cells whose key, payload hash and (when known) static code
   fingerprint match, merging journaled results by key so an
   interrupted-and-resumed sweep is byte-identical to an uninterrupted
-  one — while an entry recorded by *different code* is re-simulated.
+  one — while an entry recorded by *different code* is re-simulated;
+* **global result store** — under an active cell store
+  (:mod:`repro.harness.cellstore`, via ``--store``/``REPRO_STORE``)
+  cells are first served by content address (worker + encoded args +
+  code fingerprint) and fresh results are published back, sharing
+  completed work across runs, users and hosts with the same never-stale
+  discipline as the journal.
 
 Cells that exhaust their attempts surface as structured
 :class:`~repro.errors.CellExecutionError` entries on the returned
@@ -109,6 +115,7 @@ class HarnessStats:
 
     ok: int = 0
     journal_hits: int = 0
+    store_hits: int = 0
     retried: int = 0
     degraded: int = 0
     failed: int = 0
@@ -116,6 +123,7 @@ class HarnessStats:
     def merge(self, other: "HarnessStats") -> None:
         self.ok += other.ok
         self.journal_hits += other.journal_hits
+        self.store_hits += other.store_hits
         self.retried += other.retried
         self.degraded += other.degraded
         self.failed += other.failed
@@ -123,8 +131,13 @@ class HarnessStats:
     def banner(self) -> str:
         """The one-line ``harness: ...`` batch banner."""
         text = f"harness: {self.ok + self.failed} cell(s): {self.ok} ok"
+        served = []
         if self.journal_hits:
-            text += f" ({self.journal_hits} from journal)"
+            served.append(f"{self.journal_hits} from journal")
+        if self.store_hits:
+            served.append(f"{self.store_hits} from store")
+        if served:
+            text += f" ({', '.join(served)})"
         text += (
             f", {self.retried} retried, {self.degraded} degraded, "
             f"{self.failed} failed"
@@ -324,6 +337,7 @@ def _run_supervised(
     fingerprints: dict[str, str | None] = {}
     want_code = scope.journal is not None or scope.resume is not None
 
+    store = _active_store()
     tasks: list[_Task] = []
     for c in cells:
         digest = payload_hash(c.worker, c.args)
@@ -342,6 +356,14 @@ def _run_supervised(
             ):
                 results[c.key] = entry.result
                 stats.journal_hits += 1
+                continue
+        if store is not None:
+            from repro.harness.cellstore import MISS
+
+            value = store.lookup(c.worker, c.args)
+            if value is not MISS:
+                results[c.key] = value
+                stats.store_hits += 1
                 continue
         tasks.append(_Task(c, digest, code))
 
@@ -375,6 +397,13 @@ def _run_supervised(
     )
 
 
+def _active_store() -> "_t.Any | None":
+    """The active cell store (late import keeps module load light)."""
+    from repro.harness.cellstore import active_store
+
+    return active_store()
+
+
 def _record_success(
     scope: SupervisionScope,
     ns: str,
@@ -388,6 +417,9 @@ def _record_success(
             ns, task.cell.key, task.cell.worker, task.digest, value,
             code=task.code,
         )
+    store = _active_store()
+    if store is not None:
+        store.publish(task.cell.worker, task.cell.args, value)
 
 
 def _note_retry(

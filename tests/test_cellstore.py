@@ -1,0 +1,479 @@
+"""Tests for the content-addressed global cell store.
+
+Covers the tentpole guarantees: content-addressed keys that bake in the
+worker's code fingerprint (never-stale discipline), torn-record-tolerant
+concurrent publishing, store-hit results byte-identical to fresh runs
+across every registered experiment, and the ``repro store`` maintenance
+CLI (stats/verify/gc/export/import).
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.cli import main
+from repro.harness.cellstore import (
+    MISS,
+    CellStore,
+    active_store,
+    record_problem,
+    store_key,
+    store_scope,
+)
+from repro.harness.parallel import Cell, cell_worker, run_cells
+from repro.harness.supervisor import SupervisorPolicy, run_cells_supervised
+
+#: Inline executions of the counting test worker (jobs=1 runs in-process).
+_CALLS: list[tuple] = []
+
+
+@cell_worker("cs_count")
+def _cs_count(x):
+    """Counting worker: records every execution, returns typed payloads."""
+    _CALLS.append(("cs_count", x))
+    return {"v": float(x * x), "curve": {1: x / 2, 1024: x * 1.5}, "key": (x,)}
+
+
+@cell_worker("cs_plain")
+def _cs_plain(x):
+    """Second worker so cross-worker key separation can be asserted."""
+    _CALLS.append(("cs_plain", x))
+    return {"v": float(x)}
+
+
+#: A cheap, real, statically fingerprintable cell (1 trial).
+FAULTS_CELL = Cell(("r", 0.001), "faults_point",
+                   (0.001, 300.0, 600.0, 5.0, 10.0, 1, 1))
+
+
+@pytest.fixture
+def fake_fingerprints(monkeypatch):
+    """Give the test-local ``cs_*`` workers controllable code identities.
+
+    The static analyzer cannot see workers registered from a test
+    module, so this patches :func:`repro.analysis.static.worker_fingerprint`
+    (the single source the store and supervisor both import) with a
+    mutable mapping the test can edit to simulate a code change.
+    """
+    import repro.analysis.static as static
+
+    fingerprints = {"cs_count": "aa" * 16, "cs_plain": "bb" * 16}
+    real = static.worker_fingerprint
+    monkeypatch.setattr(
+        static, "worker_fingerprint",
+        lambda worker: fingerprints.get(worker, real(worker)),
+    )
+    return fingerprints
+
+
+# ---------------------------------------------------------------------------
+# Key derivation
+# ---------------------------------------------------------------------------
+
+class TestStoreKey:
+    def test_stable_and_discriminating(self):
+        key = store_key("w", (1, ("a", 2), {1: 0.5}), "ab" * 16)
+        assert key == store_key("w", (1, ("a", 2), {1: 0.5}), "ab" * 16)
+        assert len(key) == 64 and key == key.lower()
+        assert key != store_key("w2", (1, ("a", 2), {1: 0.5}), "ab" * 16)
+        assert key != store_key("w", (1, ("a", 3), {1: 0.5}), "ab" * 16)
+
+    def test_code_fingerprint_moves_the_key(self):
+        # The whole staleness story: editing reachable code changes the
+        # fingerprint, which changes the key, so old entries just stop
+        # being found.
+        args = (1, 2)
+        assert store_key("w", args, "aa" * 16) != store_key("w", args, "bb" * 16)
+
+    def test_journal_format_version_participates(self, monkeypatch):
+        import repro.harness.cellstore as cellstore
+
+        before = store_key("w", (1,), "aa" * 16)
+        monkeypatch.setattr(
+            cellstore, "JOURNAL_FORMAT_VERSION",
+            cellstore.JOURNAL_FORMAT_VERSION + 1,
+        )
+        assert store_key("w", (1,), "aa" * 16) != before
+
+
+# ---------------------------------------------------------------------------
+# Publish / lookup
+# ---------------------------------------------------------------------------
+
+class TestPublishLookup:
+    def test_round_trip_preserves_typed_values(self, tmp_path, fake_fingerprints):
+        store = CellStore(tmp_path / "store")
+        result = {"v": 2.5, "curve": {1: 0.5, 1024: 1.5}, "key": ("x", 3)}
+        assert store.lookup("cs_count", (3,)) is MISS
+        assert store.publish("cs_count", (3,), result)
+        value = store.lookup("cs_count", (3,))
+        assert value == result
+        # Exact types survive the round trip: int dict keys stay ints,
+        # tuples stay tuples, floats stay floats.  (String-keyed dicts
+        # come back in canonical sorted order, same as journal resume.)
+        assert all(isinstance(k, int) for k in value["curve"])
+        assert isinstance(value["key"], tuple)
+        assert isinstance(value["v"], float)
+        assert store.hits == 1 and store.misses == 1 and store.published == 1
+
+    def test_miss_on_different_args_or_worker(self, tmp_path, fake_fingerprints):
+        store = CellStore(tmp_path / "store")
+        store.publish("cs_count", (3,), {"v": 9.0})
+        assert store.lookup("cs_count", (4,)) is MISS
+        assert store.lookup("cs_plain", (3,)) is MISS
+
+    def test_unfingerprintable_worker_bypasses_store(self, tmp_path):
+        # No static code identity -> no safe cache key: lookups miss,
+        # publishes are refused, nothing lands on disk.
+        store = CellStore(tmp_path / "store")
+        assert store.lookup("cs_count", (1,)) is MISS
+        assert not store.publish("cs_count", (1,), {"v": 1.0})
+        assert store.shard_files() == []
+
+    def test_stale_fingerprint_never_served(self, tmp_path, fake_fingerprints):
+        # Publish under one code identity, "edit the code", look up:
+        # the entry must be invisible, not wrong.
+        store = CellStore(tmp_path / "store")
+        store.publish("cs_count", (3,), {"v": 9.0})
+        fake_fingerprints["cs_count"] = "cc" * 16
+        assert store.lookup("cs_count", (3,)) is MISS
+
+    def test_last_record_wins_on_duplicate_keys(self, tmp_path, fake_fingerprints):
+        store = CellStore(tmp_path / "store")
+        store.publish("cs_count", (3,), {"v": 1.0})
+        store.publish("cs_count", (3,), {"v": 2.0})
+        assert store.lookup("cs_count", (3,)) == {"v": 2.0}
+
+    def test_torn_record_tolerated_anywhere(self, tmp_path, fake_fingerprints):
+        store = CellStore(tmp_path / "store")
+        store.publish("cs_count", (3,), {"v": 9.0})
+        [shard] = store.shard_files()
+        body = shard.read_text()
+        # A concurrent writer killed mid-append, then another completed
+        # append after it: the torn line sits mid-file.
+        shard.write_text('{"v": 1, "k": "deadbeef' + "\n" + body)
+        assert store.lookup("cs_count", (3,)) == {"v": 9.0}
+        stats = store.stats()
+        assert stats.torn_lines == 1 and stats.records == 1
+
+    def test_tampered_result_not_served(self, tmp_path, fake_fingerprints):
+        # Flipping the payload hash (or key) on disk must yield a miss,
+        # never a wrong result.
+        store = CellStore(tmp_path / "store")
+        store.publish("cs_count", (3,), {"v": 9.0})
+        [shard] = store.shard_files()
+        rec = json.loads(shard.read_text())
+        rec["hash"] = "00" * 16
+        shard.write_text(json.dumps(rec) + "\n")
+        assert store.lookup("cs_count", (3,)) is MISS
+
+
+# ---------------------------------------------------------------------------
+# run_cells / supervisor integration
+# ---------------------------------------------------------------------------
+
+class TestRunCellsIntegration:
+    def test_second_run_executes_zero_cells(self, tmp_path, fake_fingerprints):
+        cells = [Cell((i,), "cs_count", (i,)) for i in range(4)]
+        with store_scope(tmp_path / "store") as store:
+            del _CALLS[:]
+            first = run_cells(cells, jobs=1)
+            assert len(_CALLS) == 4
+            assert store.published == 4
+        with store_scope(tmp_path / "store") as store:
+            del _CALLS[:]
+            second = run_cells(cells, jobs=1)
+            assert _CALLS == []  # simulate once...
+            assert store.hits == 4 and store.misses == 0
+        assert second == first
+        assert list(second) == list(first)  # key order preserved
+
+    def test_partial_hits_merge_in_cell_order(self, tmp_path, fake_fingerprints):
+        with store_scope(tmp_path / "store"):
+            run_cells([Cell((1,), "cs_count", (1,)), Cell((3,), "cs_count", (3,))])
+        cells = [Cell((i,), "cs_count", (i,)) for i in range(5)]
+        with store_scope(tmp_path / "store") as store:
+            del _CALLS[:]
+            out = run_cells(cells, jobs=1)
+        assert store.hits == 2 and store.misses == 3
+        assert [x for _, x in _CALLS] == [0, 2, 4]
+        assert list(out) == [(i,) for i in range(5)]
+        assert out == {
+            (i,): {"v": float(i * i), "curve": {1: i / 2, 1024: i * 1.5},
+                   "key": (i,)}
+            for i in range(5)
+        }
+
+    def test_code_edit_forces_re_execution(self, tmp_path, fake_fingerprints):
+        cells = [Cell((i,), "cs_count", (i,)) for i in range(3)]
+        with store_scope(tmp_path / "store"):
+            run_cells(cells)
+        fake_fingerprints["cs_count"] = "dd" * 16  # simulated code edit
+        with store_scope(tmp_path / "store") as store:
+            del _CALLS[:]
+            run_cells(cells)
+        assert store.hits == 0 and store.misses == 3
+        assert len(_CALLS) == 3  # all re-simulated, old entries ignored
+
+    def test_env_var_activates_store(self, tmp_path, fake_fingerprints,
+                                     monkeypatch):
+        root = tmp_path / "envstore"
+        monkeypatch.setenv("REPRO_STORE", str(root))
+        assert active_store() is not None
+        run_cells([Cell((1,), "cs_count", (1,))])
+        del _CALLS[:]
+        run_cells([Cell((1,), "cs_count", (1,))])
+        assert _CALLS == []
+        monkeypatch.delenv("REPRO_STORE")
+        assert active_store() is None
+
+    def test_supervised_store_hits_counted(self, tmp_path, fake_fingerprints):
+        cells = [Cell((i,), "cs_count", (i,)) for i in range(3)]
+        with store_scope(tmp_path / "store"):
+            fresh = run_cells_supervised(
+                cells, jobs=1, policy=SupervisorPolicy(),
+            )
+            served = run_cells_supervised(
+                cells, jobs=1, policy=SupervisorPolicy(),
+            )
+        assert fresh.stats.store_hits == 0
+        assert served.stats.store_hits == 3 and served.stats.ok == 3
+        assert served.results == fresh.results
+        assert "3 from store" in served.banner()
+
+    def test_journal_resume_hit_wins_over_store(self, tmp_path,
+                                                fake_fingerprints):
+        cells = [Cell((1,), "cs_count", (1,))]
+        jpath = tmp_path / "j.jsonl"
+        with store_scope(tmp_path / "store"):
+            run_cells_supervised(
+                cells, jobs=1, policy=SupervisorPolicy(journal=jpath),
+            )
+            resumed = run_cells_supervised(
+                cells, jobs=1, policy=SupervisorPolicy(resume=jpath),
+            )
+        assert resumed.stats.journal_hits == 1
+        assert resumed.stats.store_hits == 0
+
+
+# ---------------------------------------------------------------------------
+# Concurrent writers
+# ---------------------------------------------------------------------------
+
+def _publish_block(root: str, rates: list[float]) -> int:
+    """Publish one deterministic faults_point record per rate (subprocess)."""
+    store = CellStore(root)
+    n = 0
+    for rate in rates:
+        args = (rate, 300.0, 600.0, 5.0, 10.0, 1, 1)
+        result = {"completion_time": rate * 2.0, "restarts": 0.0,
+                  "wasted_work": rate}
+        if store.publish("faults_point", args, result):
+            n += 1
+    return n
+
+
+class TestConcurrentWriters:
+    def test_disjoint_and_overlapping_writers(self, tmp_path):
+        # Two real processes publish concurrently: disjoint rate blocks
+        # plus a shared overlap (same key, same deterministic payload).
+        root = str(tmp_path / "store")
+        a = [0.001 * i for i in range(1, 9)]        # .001 .. .008
+        b = [0.001 * i for i in range(5, 13)]       # .005 .. .012 (overlap 4)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            fa = pool.submit(_publish_block, root, a)
+            fb = pool.submit(_publish_block, root, b)
+            assert fa.result() == 8 and fb.result() == 8
+        store = CellStore(root)
+        every = sorted(set(a) | set(b))
+        for rate in every:
+            args = (rate, 300.0, 600.0, 5.0, 10.0, 1, 1)
+            value = store.lookup("faults_point", args)
+            assert value == {"completion_time": rate * 2.0, "restarts": 0.0,
+                             "wasted_work": rate}
+        stats = store.stats()
+        assert stats.unique_keys == len(every) == 12
+        assert stats.records == 16  # overlap appended twice, served once
+        assert stats.torn_lines == 0
+        assert store.verify().clean
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity across every registered experiment
+# ---------------------------------------------------------------------------
+
+class TestExperimentByteIdentity:
+    def test_warm_store_batch_is_byte_identical_with_zero_executions(
+        self, tmp_path
+    ):
+        # The acceptance criterion: a full batch run twice against the
+        # same store executes zero cell workers the second time and
+        # renders byte-identically.
+        from repro.harness.runner import run_batch
+
+        root = tmp_path / "store"
+        cold = run_batch(None, quick=True, seed=0, store=root)
+        warm = run_batch(None, quick=True, seed=0, store=root)
+        assert cold.render() == warm.render()
+        assert warm.store_summary is not None
+        assert "0 executed, 0 published" in warm.store_summary
+        # And against a no-store baseline, byte for byte.
+        plain = run_batch(None, quick=True, seed=0)
+        assert plain.render() == warm.render()
+        assert plain.store_summary is None
+
+    def test_faults_sweep_store_round_trip(self, tmp_path):
+        from repro.faults.sweep import sweep_failure_checkpoint
+
+        root = tmp_path / "store"
+        kwargs = dict(work=600.0, checkpoint_cost=5.0, restart_cost=10.0,
+                      trials=2, seed=1)
+        cold = sweep_failure_checkpoint([1e-4, 1e-3], [100.0, 200.0],
+                                        store=root, **kwargs)
+        warm = sweep_failure_checkpoint([1e-4, 1e-3], [100.0, 200.0],
+                                        store=root, **kwargs)
+        assert cold.render() == warm.render()
+        assert "4 served, 0 executed" in warm.store_summary
+
+
+# ---------------------------------------------------------------------------
+# Maintenance: verify / gc / export / import
+# ---------------------------------------------------------------------------
+
+class TestMaintenance:
+    def _populated(self, tmp_path, fingerprints):
+        store = CellStore(tmp_path / "store")
+        for x in range(4):
+            store.publish("cs_count", (x,), {"v": float(x)})
+        store.publish("cs_plain", (9,), {"v": 9.0})
+        return store
+
+    def test_verify_clean_store(self, tmp_path, fake_fingerprints):
+        store = self._populated(tmp_path, fake_fingerprints)
+        report = store.verify()
+        assert report.clean and report.ok == 5 and report.torn_lines == 0
+
+    def test_verify_flags_tampering(self, tmp_path, fake_fingerprints):
+        store = self._populated(tmp_path, fake_fingerprints)
+        shard = store.shard_files()[0]
+        rec = json.loads(shard.read_text().splitlines()[0])
+        rec["worker"] = "other_worker"  # key no longer re-derives
+        with open(shard, "a") as fh:
+            fh.write(json.dumps(rec) + "\n")
+        report = store.verify()
+        assert not report.clean
+        assert any("does not re-derive" in p for p in report.problems)
+
+    def test_record_problem_catalogue(self):
+        assert record_problem([]) == "record is not an object"
+        assert "non-integer" in record_problem({"v": "x"})
+        assert "newer than supported" in record_problem({"v": 99})
+        assert "missing field" in record_problem({"v": 1, "k": "ab" * 32})
+        bad = {"v": 1, "k": "zz" * 32, "worker": "w", "args": [],
+               "code": "aa", "hash": "bb" * 16, "result": {}}
+        assert "64 lowercase hex" in record_problem(bad)
+
+    def test_gc_drops_stale_and_duplicates(self, tmp_path, fake_fingerprints):
+        store = self._populated(tmp_path, fake_fingerprints)
+        store.publish("cs_count", (0,), {"v": 0.5})  # duplicate key
+        fake_fingerprints["cs_plain"] = "ee" * 16    # stales cs_plain's entry
+        dry = store.gc(dry_run=True)
+        assert dry.dry_run and dry.dropped_stale == 1 and dry.dropped_duplicate == 1
+        report = store.gc()
+        assert report.kept == 4
+        assert report.dropped_stale == 1 and report.dropped_duplicate == 1
+        # Post-gc: duplicate collapsed last-wins, stale gone, all clean.
+        assert store.lookup("cs_count", (0,)) == {"v": 0.5}
+        assert store.verify().clean
+        after = store.stats()
+        assert after.records == 4 and after.unique_keys == 4
+
+    def test_gc_unknown_worker_records(self, tmp_path, fake_fingerprints):
+        store = self._populated(tmp_path, fake_fingerprints)
+        del fake_fingerprints["cs_plain"]  # now unfingerprintable here
+        kept = store.gc()
+        assert kept.dropped_unknown == 0 and kept.kept == 5
+        dropped = store.gc(drop_unknown=True)
+        assert dropped.dropped_unknown == 1 and dropped.kept == 4
+
+    def test_export_import_round_trip(self, tmp_path, fake_fingerprints):
+        store = self._populated(tmp_path, fake_fingerprints)
+        dump = tmp_path / "dump.jsonl"
+        assert store.export(dump) == 5
+        other = CellStore(tmp_path / "other")
+        assert other.import_file(dump) == (5, 0, 0)
+        assert other.lookup("cs_count", (2,)) == {"v": 2.0}
+        assert other.verify().clean
+        # Re-import is idempotent; tampered lines are refused.
+        assert other.import_file(dump) == (0, 5, 0)
+        with open(dump, "a") as fh:
+            fh.write('{"v": 1, "k": "ab"}\n')
+        third = CellStore(tmp_path / "third")
+        assert third.import_file(dump) == (5, 0, 1)
+
+    def test_export_is_deterministic(self, tmp_path, fake_fingerprints):
+        store = self._populated(tmp_path, fake_fingerprints)
+        assert list(store.export_lines()) == list(store.export_lines())
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestStoreCli:
+    def _populated_root(self, tmp_path, fingerprints):
+        store = CellStore(tmp_path / "store")
+        for x in range(3):
+            store.publish("cs_count", (x,), {"v": float(x)})
+        return str(tmp_path / "store")
+
+    def test_stats_and_verify_exit_codes(self, tmp_path, fake_fingerprints,
+                                         capsys):
+        root = self._populated_root(tmp_path, fake_fingerprints)
+        assert main(["store", "stats", root]) == 0
+        out = capsys.readouterr().out
+        assert "records      : 3" in out
+        assert main(["store", "stats", root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 3 and payload["workers"] == {"cs_count": 3}
+        assert main(["store", "verify", root]) == 0
+        assert "3 record(s) ok" in capsys.readouterr().out
+
+    def test_verify_gate_fails_on_corruption(self, tmp_path, fake_fingerprints,
+                                             capsys):
+        root = self._populated_root(tmp_path, fake_fingerprints)
+        store = CellStore(root)
+        shard = store.shard_files()[0]
+        rec = json.loads(shard.read_text().splitlines()[0])
+        rec["hash"] = "00" * 16
+        with open(shard, "a") as fh:
+            fh.write(json.dumps(rec) + "\n")
+        assert main(["store", "verify", root]) == 1
+
+    def test_gc_export_import_commands(self, tmp_path, fake_fingerprints,
+                                       capsys):
+        root = self._populated_root(tmp_path, fake_fingerprints)
+        assert main(["store", "gc", root, "--dry-run"]) == 0
+        assert "would drop" in capsys.readouterr().out
+        dump = str(tmp_path / "dump.jsonl")
+        assert main(["store", "export", root, "--out", dump]) == 0
+        other = str(tmp_path / "other")
+        assert main(["store", "import", other, dump]) == 0
+        assert main(["store", "verify", other]) == 0
+
+    def test_run_store_flag_round_trip(self, tmp_path, capsys):
+        root = str(tmp_path / "store")
+        assert main(["run", "tab2", "--store", root]) == 0
+        first = capsys.readouterr()
+        assert "store:" in first.err and "published" in first.err
+        assert main(["run", "tab2", "--store", root]) == 0
+        second = capsys.readouterr()
+        assert first.out == second.out  # byte-identical report
+        assert "0 executed, 0 published" in second.err
+
+    def test_negative_jobs_is_a_clean_cli_error(self, capsys):
+        assert main(["run", "tab2", "--jobs", "-2"]) == 1
+        assert "jobs must be >= 0" in capsys.readouterr().err

@@ -58,6 +58,14 @@ def test_resolve_jobs():
     assert resolve_jobs(0) >= 1
 
 
+def test_resolve_jobs_rejects_negative():
+    # A `--jobs -2` typo used to silently mean "all CPUs"; only None/0
+    # may mean that.
+    for jobs in (-1, -2, -64):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            resolve_jobs(jobs)
+
+
 def test_empty_cell_list():
     assert run_cells([], jobs=4) == {}
 

@@ -30,6 +30,7 @@ from repro.harness.journal import (
     encode_value,
     load_journal,
     payload_hash,
+    read_journal,
 )
 from repro.harness.parallel import Cell, cell_worker, run_cells
 from repro.harness.supervisor import (
@@ -151,15 +152,48 @@ class TestJournal:
         entries = load_journal(path)
         assert set(entries) == {("ns", (1,))}
 
-    def test_corrupt_middle_line_rejected(self, tmp_path):
+    def test_corrupt_middle_line_skipped_not_fatal(self, tmp_path):
+        # A mid-file corrupted line loses only that record: the cells
+        # around it stay loadable and the skip carries a reason.
         path = tmp_path / "run.jsonl"
         with RunJournal(path) as journal:
-            journal.record_cell("ns", (1,), "w", "h", {"v": 1.0})
+            journal.record_cell("ns", (1,), "w", "aa" * 16, {"v": 1.0})
         with open(path, "a") as fh:
             fh.write("not json\n")
-            fh.write('{"kind": "event", "ns": "ns", "key": [], "event": "x"}\n')
-        with pytest.raises(ConfigError, match="corrupt journal"):
-            load_journal(path)
+        with RunJournal(path) as journal:
+            journal.record_cell("ns", (2,), "w", "bb" * 16, {"v": 2.0})
+        read = read_journal(path)
+        assert set(read.entries) == {("ns", (1,)), ("ns", (2,))}
+        [skip] = read.skipped
+        assert skip.lineno == 2
+        assert "unparseable" in skip.reason
+        # load_journal (the resume path) must not abort either.
+        assert set(load_journal(path)) == {("ns", (1,)), ("ns", (2,))}
+
+    def test_malformed_cell_record_skipped_with_reason(self, tmp_path):
+        # A parseable cell record missing a required field is skipped
+        # with a reason, never a crash.
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_cell("ns", (1,), "w", "aa" * 16, {"v": 1.0})
+        with open(path, "a") as fh:
+            fh.write('{"kind": "cell", "v": 2, "ns": "ns", "key": [3]}\n')
+        read = read_journal(path)
+        assert set(read.entries) == {("ns", (1,))}
+        [skip] = read.skipped
+        assert skip.lineno == 2 and skip.version == 2
+        assert "malformed" in skip.reason
+
+    def test_close_is_idempotent(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record_cell("ns", (1,), "w", "aa" * 16, {"v": 1.0})
+        journal.close()
+        journal.close()  # double-close must not raise
+        with RunJournal(tmp_path / "run2.jsonl") as journal:
+            journal.record_cell("ns", (1,), "w", "aa" * 16, {"v": 1.0})
+        journal.close()  # close-after-__exit__ must not raise
+        with pytest.raises(ConfigError, match="closed"):
+            journal.record_cell("ns", (2,), "w", "bb" * 16, {"v": 2.0})
 
     def test_missing_resume_journal_rejected(self, tmp_path):
         with pytest.raises(ConfigError, match="not found"):
@@ -591,6 +625,22 @@ class TestJournalFormatV2:
         assert not hash_matches(digest[:15], digest)  # wrong width
         assert not hash_matches("cd" * 16, digest)
         assert not hash_matches("cd" * 8, digest)
+
+    def test_hash_matches_rejects_non_hex_entries(self):
+        # A corrupted journal value must never false-positive into a
+        # resume hit: both the exact and the v1-prefix path demand a
+        # lowercase-hex, even-length stored digest.
+        from repro.harness.journal import hash_matches
+
+        digest = "ab" * 16
+        assert not hash_matches("zz" * 8, digest)            # non-hex, 16 chars
+        assert not hash_matches("AB" * 16, digest)           # uppercase hex
+        assert not hash_matches(digest[:16].upper(), digest)
+        assert not hash_matches("", digest)                  # empty
+        assert not hash_matches(digest + "f", digest + "f")  # odd length
+        # Even a degenerate "digest" argument cannot make a non-hex
+        # entry match itself.
+        assert not hash_matches("not-a-digest!!", "not-a-digest!!")
 
 
 class TestCodeFingerprintResume:
