@@ -55,6 +55,15 @@ Exit codes
     Print (or ``--check`` the stability of) the semantic code
     fingerprint of each registered cell worker — the journal-v2 /
     result-cache code-identity key.
+``worker --connect HOST:PORT``
+    Join a distributed sweep as a TCP cell worker: connect to the
+    coordinator of a ``--backend tcp:...`` run and execute leased
+    cells until told to stop (see ``docs/distributed.md``).
+``bench harness``
+    Executor dispatch-overhead microbenchmark (cells/sec for serial,
+    pool, chunked and loopback-TCP backends); writes
+    ``BENCH_harness.json``, gates with ``--check`` and appends
+    trajectory rows with ``--append-history``.
 ``osu <platform>``
     Run the OSU latency + bandwidth pair on one platform.
 ``npb <bench> <platform> <nprocs>``
@@ -124,6 +133,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sim_iters=args.sim_iters,
         supervisor=_supervisor_policy(args),
         store=args.store,
+        backend=args.backend,
         progress=lambda eid: print(f"[running] {eid}", file=sys.stderr),
     )
     print(batch.render())
@@ -131,6 +141,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"[{batch.harness_summary}]", file=sys.stderr)
     if batch.store_summary:
         print(f"[{batch.store_summary}]", file=sys.stderr)
+    if batch.executor_summary:
+        print(f"[{batch.executor_summary}]", file=sys.stderr)
     if args.json:
         batch.write_json(args.json)
         print(f"[written] {args.json}", file=sys.stderr)
@@ -275,6 +287,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             supervisor=_supervisor_policy(args),
             store=args.store,
+            backend=args.backend,
         )
         if args.json:
             print(json.dumps(result.to_dict(), indent=2))
@@ -284,6 +297,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             print(f"[{result.harness_summary}]", file=sys.stderr)
         if result.store_summary:
             print(f"[{result.store_summary}]", file=sys.stderr)
+        if result.executor_summary:
+            print(f"[{result.executor_summary}]", file=sys.stderr)
         return 3 if result.failures else 0
     raise AssertionError(f"unhandled faults subcommand {args.faults_command!r}")
 
@@ -339,13 +354,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         check_against_baseline,
         load_rows,
         render_rows,
-        run_engine_bench,
         write_rows,
     )
 
-    if args.bench_command != "engine":
+    if args.bench_command == "harness":
+        from repro.perf.harnessbench import run_harness_bench
+
+        rows = run_harness_bench(
+            cells=args.cells, jobs=args.jobs, reps=args.reps,
+            modes=args.modes,
+        )
+    elif args.bench_command == "engine":
+        from repro.perf.enginebench import run_engine_bench
+
+        rows = run_engine_bench(reps=args.reps, workloads=args.workloads)
+    else:
         raise AssertionError(f"unhandled bench subcommand {args.bench_command!r}")
-    rows = run_engine_bench(reps=args.reps, workloads=args.workloads)
     print(render_rows(rows))
     if args.out:
         write_rows(rows, args.out)
@@ -360,12 +384,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         failures = check_against_baseline(
             rows, load_rows(args.check), tolerance=args.tolerance
         )
+        if args.bench_command == "harness":
+            from repro.perf.harnessbench import check_speedup
+
+            failures += check_speedup(rows)
         if failures:
             for line in failures:
                 print(f"[regression] {line}", file=sys.stderr)
             return 1
         print(f"[ok] within {args.tolerance:.0%} of {args.check}", file=sys.stderr)
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.harness.netqueue import run_worker
+
+    host, sep, port = args.connect.rpartition(":")
+    if not sep or not host:
+        raise ConfigError(
+            f"--connect needs HOST:PORT, got {args.connect!r}"
+        )
+    try:
+        port_n = int(port)
+    except ValueError:
+        raise ConfigError(f"bad port in --connect: {port!r}") from None
+    return run_worker(host, port_n, heartbeat=args.heartbeat)
 
 
 def _cmd_npb(args: argparse.Namespace) -> int:
@@ -421,6 +465,16 @@ def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
              "runs and hosts; entries are keyed by worker + args + code "
              "fingerprint so they can never go stale (also via "
              "REPRO_STORE; see docs/caching.md)",
+    )
+    parser.add_argument(
+        "--backend", default=None, metavar="SPEC",
+        help="execution backend for sweep cells: 'serial', "
+             "'pool[:chunk=K|auto]', 'chunked', "
+             "'tcp:HOST:PORT[,spawn=N][,lease=S]' (a multi-host TCP "
+             "work queue; spawn=N launches N local workers, others join "
+             "with `repro worker --connect`), or 'transient:<spec>' to "
+             "absorb worker loss by resubmitting; output is "
+             "byte-identical on every backend (see docs/distributed.md)",
     )
 
 
@@ -659,6 +713,59 @@ def build_parser() -> argparse.ArgumentParser:
              "workload to PATH (default BENCH_history.jsonl)",
     )
 
+    harness_bench = bench_sub.add_parser(
+        "harness",
+        help="executor dispatch-overhead workloads (cells/sec per backend)",
+    )
+    harness_bench.add_argument(
+        "--cells", type=int, default=600,
+        help="synthetic bench_cell cells per mode (default 600)",
+    )
+    harness_bench.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for the pool/chunked/tcp modes (default 2)",
+    )
+    harness_bench.add_argument(
+        "--reps", type=int, default=1,
+        help="repetitions per mode, keeping the fastest (default 1)",
+    )
+    harness_bench.add_argument(
+        "--modes", nargs="+", default=None, metavar="MODE",
+        help="run only these modes (default: serial pool chunked tcp)",
+    )
+    harness_bench.add_argument(
+        "--out", default="BENCH_harness.json", metavar="PATH",
+        help="write rows as JSON (default BENCH_harness.json; '' to skip)",
+    )
+    harness_bench.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare cells/sec against a baseline JSON and enforce the "
+             "chunked-dispatch speedup floor; exit 1 on regression",
+    )
+    harness_bench.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional cells/sec drop for --check (default 0.30)",
+    )
+    harness_bench.add_argument(
+        "--append-history", nargs="?", const="BENCH_history.jsonl",
+        default=None, metavar="PATH",
+        help="append one {commit, workload, events_per_sec} JSONL row per "
+             "mode to PATH (default BENCH_history.jsonl)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a distributed sweep as a TCP cell worker",
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address of a --backend tcp:... run",
+    )
+    worker.add_argument(
+        "--heartbeat", type=float, default=2.0, metavar="S",
+        help="liveness heartbeat interval in seconds (default 2)",
+    )
+
     osu = sub.add_parser("osu", help="run OSU latency/bandwidth on a platform")
     osu.add_argument("platform", choices=["vayu", "dcc", "ec2"])
     osu.add_argument("--seed", type=int, default=1)
@@ -690,6 +797,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
     "faults": _cmd_faults,
     "bench": _cmd_bench,
     "store": _cmd_store,
+    "worker": _cmd_worker,
 }
 
 

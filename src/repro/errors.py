@@ -164,6 +164,30 @@ class CellExecutionError(ReproError):
         super().__init__(message)
 
 
+class RemoteCellError(ReproError):
+    """A cell failed *deterministically* on a remote work-queue worker.
+
+    Raised coordinator-side by :mod:`repro.harness.netqueue` when a
+    remote worker reports a :class:`ReproError` (other than
+    :class:`ConfigError`, which is reconstructed as itself): the failure
+    is a property of the cell, not of the transport, so the supervisor
+    must treat it exactly like a local deterministic failure — record
+    it, never retry it.  Carries the remote exception's class name and
+    formatted traceback for the failure report.
+    """
+
+    def __init__(
+        self, remote_type: str, remote_message: str, remote_traceback: str = ""
+    ) -> None:
+        self.remote_type = remote_type
+        self.remote_message = remote_message
+        self.remote_traceback = remote_traceback
+        message = f"remote worker raised {remote_type}: {remote_message}"
+        if remote_traceback:
+            message += f"\n{remote_traceback.rstrip()}"
+        super().__init__(message)
+
+
 class ConfigError(ReproError):
     """Invalid platform, benchmark or experiment configuration."""
 

@@ -52,6 +52,10 @@ class SweepResult:
     #: Stderr-only for the same byte-identity reason: a warm-store sweep
     #: serves every cell while a cold one executes them all.
     store_summary: str | None = None
+    #: One-line ``executor: ...`` backend banner (None without an explicit
+    #: ``backend=``).  Stderr-only: dispatch is scheduling detail and every
+    #: backend renders the identical grid.
+    executor_summary: str | None = None
 
     def render(self) -> str:
         """Fixed-width grid of mean time-to-completion (s); one row per
@@ -127,6 +131,7 @@ def sweep_failure_checkpoint(
     jobs: int = 1,
     supervisor: "SupervisorPolicy | None" = None,
     store: _t.Any | None = None,
+    backend: str | None = None,
 ) -> SweepResult:
     """Sweep the checkpoint/restart model over ``rates x intervals``.
 
@@ -146,6 +151,12 @@ def sweep_failure_checkpoint(
     published back.  A warm-store sweep renders byte-identical output
     with zero cells executed; the ``store: ...`` banner lands in
     :attr:`SweepResult.store_summary` (stderr-only).
+
+    ``backend`` schedules the grid through an explicit
+    :class:`~repro.harness.executor.CellExecutor` backend (a
+    ``--backend`` spec string, see
+    :func:`~repro.harness.executor.make_executor`): same cells, same
+    merge-by-key grid, byte-identical output on every transport.
     """
     if not rates or not intervals:
         raise ConfigError("faults sweep needs at least one rate and one interval")
@@ -167,6 +178,7 @@ def sweep_failure_checkpoint(
     failures: dict[tuple[float, float], CellExecutionError] = {}
     harness_summary: str | None = None
     store_summary: str | None = None
+    executor_summary: str | None = None
 
     def _execute_grid() -> dict[tuple, _t.Any]:
         nonlocal failures, harness_summary
@@ -181,14 +193,25 @@ def sweep_failure_checkpoint(
             return report.results
         return run_cells(cells, jobs=jobs)
 
-    if store is not None:
+    def _execute_stored() -> dict[tuple, _t.Any]:
+        nonlocal store_summary
+        if store is None:
+            return _execute_grid()
         from repro.harness.cellstore import store_scope
 
         with store_scope(store) as cs:
             results = _execute_grid()
         store_summary = cs.banner()
+        return results
+
+    if backend is None:
+        results = _execute_stored()
     else:
-        results = _execute_grid()
+        from repro.harness.executor import executor_scope, make_executor
+
+        with executor_scope(make_executor(backend, jobs)) as ex:
+            results = _execute_stored()
+            executor_summary = ex.banner()
     return SweepResult(
         work=float(work),
         checkpoint_cost=float(checkpoint_cost),
@@ -201,4 +224,5 @@ def sweep_failure_checkpoint(
         failures=failures,
         harness_summary=harness_summary,
         store_summary=store_summary,
+        executor_summary=executor_summary,
     )

@@ -58,6 +58,8 @@ import hashlib
 import json
 import os
 import pathlib
+import socket
+import time
 import typing as _t
 
 from repro.errors import ConfigError
@@ -73,6 +75,9 @@ STORE_VERSION = 1
 
 #: Hex chars of the key used to pick a shard file (256 shards).
 SHARD_WIDTH = 2
+
+#: Default seconds before another host may take over an unpublished lease.
+LEASE_TTL = 600.0
 
 
 class _Miss:
@@ -255,6 +260,23 @@ class GcReport:
         )
 
 
+@dataclasses.dataclass(slots=True)
+class StorePlan:
+    """A dispatch plan: every cell of a sweep, partitioned by the store.
+
+    Produced by :meth:`CellStore.plan_cells` before any dispatch:
+    ``served`` cells already have a result, ``to_run`` cells are ours to
+    execute (a lease was claimed for every cacheable one), and
+    ``deferred`` cells are being computed *right now* by another
+    executor sharing this store — the scheduler awaits their results via
+    :meth:`CellStore.await_peer` instead of computing them twice.
+    """
+
+    served: dict[tuple, _t.Any] = dataclasses.field(default_factory=dict)
+    to_run: list[_t.Any] = dataclasses.field(default_factory=list)
+    deferred: list[_t.Any] = dataclasses.field(default_factory=list)
+
+
 # ---------------------------------------------------------------------------
 # The store
 # ---------------------------------------------------------------------------
@@ -269,19 +291,37 @@ class CellStore:
     ``store: ...`` banner a batch prints to stderr.
     """
 
-    def __init__(self, root: str | pathlib.Path) -> None:
+    def __init__(
+        self, root: str | pathlib.Path, *, lease_ttl: float | None = None
+    ) -> None:
         self.root = pathlib.Path(root)
         self.hits = 0
         self.misses = 0
         self.published = 0
+        self.peer_waits = 0
+        self.takeovers = 0
+        if lease_ttl is None:
+            lease_ttl = float(os.environ.get("REPRO_STORE_LEASE_TTL") or LEASE_TTL)
+        if lease_ttl <= 0:
+            raise ConfigError(f"lease TTL must be > 0: {lease_ttl}")
+        self.lease_ttl = lease_ttl
+        self._held: set[str] = set()
+        self._owner = f"{socket.gethostname()}:{os.getpid()}:{id(self):x}"
 
     # -- paths ------------------------------------------------------------
     @property
     def cells_dir(self) -> pathlib.Path:
         return self.root / "cells"
 
+    @property
+    def leases_dir(self) -> pathlib.Path:
+        return self.root / "leases"
+
     def shard_path(self, key: str) -> pathlib.Path:
         return self.cells_dir / f"{key[:SHARD_WIDTH]}.jsonl"
+
+    def lease_path(self, key: str) -> pathlib.Path:
+        return self.leases_dir / f"{key}.json"
 
     def shard_files(self) -> list[pathlib.Path]:
         """All shard files, in deterministic (name) order."""
@@ -313,18 +353,15 @@ class CellStore:
             yield lineno, line, rec
 
     # -- the hot path -----------------------------------------------------
-    def lookup(self, worker: str, args: _t.Sequence[_t.Any]) -> _t.Any:
-        """The stored result for ``(worker, args)``, or :data:`MISS`.
+    def _find(self, worker: str, args: _t.Sequence[_t.Any]) -> _t.Any:
+        """Uncounted lookup — :data:`MISS` or the stored result.
 
-        A hit requires the full content address to match: the record's
-        key (which bakes in the code fingerprint current *now*), its
-        payload hash, and its worker name.  An entry published by
-        different code therefore can never be served — the never-stale
-        discipline shared with the journal and ``CollectiveMemo``.
+        The counter-free primitive behind :meth:`lookup` and the peer
+        polling loop (:meth:`await_peer` re-reads a shard many times for
+        one logical lookup; counting each poll would garble the banner).
         """
         code = _worker_code(worker)
         if code is None:
-            self.misses += 1
             return MISS
         key = store_key(worker, args, code)
         digest = payload_hash(worker, args)
@@ -339,6 +376,18 @@ class CellStore:
                 and "result" in rec
             ):
                 found = decode_value(rec["result"])  # last record wins
+        return found
+
+    def lookup(self, worker: str, args: _t.Sequence[_t.Any]) -> _t.Any:
+        """The stored result for ``(worker, args)``, or :data:`MISS`.
+
+        A hit requires the full content address to match: the record's
+        key (which bakes in the code fingerprint current *now*), its
+        payload hash, and its worker name.  An entry published by
+        different code therefore can never be served — the never-stale
+        discipline shared with the journal and ``CollectiveMemo``.
+        """
+        found = self._find(worker, args)
         if found is MISS:
             self.misses += 1
         else:
@@ -378,15 +427,157 @@ class CellStore:
         finally:
             os.close(fd)
         self.published += 1
+        self._release(key)  # the published record supersedes our claim
         return True
 
     def banner(self) -> str:
         """One-line ``store: ...`` summary (stderr only, never in reports)."""
-        return (
+        text = (
             f"store: {self.hits + self.misses} lookup(s): "
             f"{self.hits} served, {self.misses} executed, "
             f"{self.published} published"
         )
+        if self.peer_waits:
+            text += f", {self.peer_waits} awaited from peer(s)"
+        return text
+
+    # -- leases: store-aware scheduling ------------------------------------
+    def _lease_key(self, worker: str, args: _t.Sequence[_t.Any]) -> str | None:
+        code = _worker_code(worker)
+        if code is None:
+            return None
+        return store_key(worker, args, code)
+
+    def _lease_stale(self, path: pathlib.Path) -> bool:
+        try:
+            age = time.time() - path.stat().st_mtime  # lint-ok: DET001 lease liveness only, never in results
+        except OSError:
+            return False  # gone: not stale, just released
+        return age > self.lease_ttl
+
+    def try_lease(self, worker: str, args: _t.Sequence[_t.Any]) -> bool:
+        """Claim the right to compute ``(worker, args)``; False: a peer has it.
+
+        The claim is an ``O_CREAT | O_EXCL`` lease file named by the
+        cell's content address — the same lockless append-only
+        filesystem discipline publishes use, so any number of executors
+        (processes, hosts on a shared filesystem) race safely.  A lease
+        older than the TTL is presumed orphaned (its owner crashed
+        without publishing) and taken over via an atomic replace that is
+        confirmed by reading the file back.  Uncacheable workers have no
+        content address and therefore no lease: ``True``, just run it.
+        """
+        key = self._lease_key(worker, args)
+        if key is None:
+            return True
+        path = self.lease_path(key)
+        payload = json.dumps({"owner": self._owner, "k": key}, sort_keys=True)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            if not self._lease_stale(path):
+                return False
+            # Orphaned lease: replace atomically, then confirm we won
+            # (two takeover racers both replace; the last write wins and
+            # only the owner named in the file holds the lease).
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, path)
+            try:
+                won = json.loads(path.read_text(encoding="utf-8")).get("owner") == self._owner
+            except (OSError, json.JSONDecodeError):
+                won = False
+            if won:
+                self.takeovers += 1
+                self._held.add(key)
+            return won
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        self._held.add(key)
+        return True
+
+    def _release(self, key: str) -> None:
+        if key in self._held:
+            self._held.discard(key)
+            with contextlib.suppress(OSError):
+                self.lease_path(key).unlink()
+
+    def release_leases(self) -> None:
+        """Drop every lease this instance still holds (error-path cleanup).
+
+        Called by the harness when a sweep aborts, so peers waiting on
+        our unpublished cells fall back to computing them immediately
+        instead of waiting out the TTL.
+        """
+        for key in list(self._held):
+            self._release(key)
+
+    def plan_cells(self, cells: _t.Sequence[_t.Any]) -> StorePlan:
+        """Partition a sweep into store-hit / ours-to-run / in-flight-elsewhere.
+
+        The scheduling pass every executor backend runs before dispatch:
+        cells with a stored result are served; each remaining cacheable
+        cell is leased — won leases go to ``to_run``, lost ones (a peer
+        executor sharing this store is computing that cell right now) go
+        to ``deferred`` for :meth:`await_peer` to resolve after our own
+        dispatch.  Two hosts sharing one store therefore never compute
+        the same cell twice, whatever their backends.
+        """
+        plan = StorePlan()
+        for cell in cells:
+            value = self._find(cell.worker, cell.args)
+            if value is not MISS:
+                self.hits += 1
+                plan.served[cell.key] = value
+                continue
+            self.misses += 1
+            if self.try_lease(cell.worker, cell.args):
+                plan.to_run.append(cell)
+            else:
+                plan.deferred.append(cell)
+        return plan
+
+    def await_peer(
+        self,
+        worker: str,
+        args: _t.Sequence[_t.Any],
+        *,
+        poll: float = 0.05,
+        max_wait: float | None = None,
+    ) -> _t.Any:
+        """Wait for a peer executor's result for a deferred cell.
+
+        Polls the store until the peer publishes; a released or
+        TTL-expired lease without a published result means the peer gave
+        up (or died), in which case we claim the lease ourselves and
+        return :data:`MISS` — the caller executes the cell locally.
+        After ``max_wait`` seconds (default: the lease TTL) the wait
+        also gives up with :data:`MISS`; computing the cell twice is
+        merely redundant, never incorrect, because both publishes carry
+        the same content address.
+        """
+        if max_wait is None:
+            max_wait = self.lease_ttl
+        deadline = time.monotonic() + max_wait  # lint-ok: DET001 lease liveness only, never in results
+        while True:
+            value = self._find(worker, args)
+            if value is not MISS:
+                self.hits += 1
+                self.misses -= 1  # the planned miss became a peer-served hit
+                self.peer_waits += 1
+                return value
+            key = self._lease_key(worker, args)
+            if key is None:
+                return MISS
+            path = self.lease_path(key)
+            if (not path.exists() or self._lease_stale(path)) and self.try_lease(
+                worker, args
+            ):
+                return MISS
+            if time.monotonic() >= deadline:  # lint-ok: DET001 lease liveness only, never in results
+                return MISS
+            time.sleep(poll)
 
     # -- maintenance ------------------------------------------------------
     def stats(self) -> StoreStats:
@@ -482,6 +673,13 @@ class CellStore:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, shard)
+        if not dry_run and self.leases_dir.is_dir():
+            # TTL-expired lease files are orphans (their owner is gone);
+            # reclaim them so they stop delaying future takeovers.
+            for lease in sorted(self.leases_dir.glob("*.json")):
+                if self._lease_stale(lease):
+                    with contextlib.suppress(OSError):
+                        lease.unlink()
         return report
 
     def export_lines(self) -> _t.Iterator[str]:

@@ -1,0 +1,545 @@
+"""Transport-agnostic cell executors: one scheduling interface, many backends.
+
+Everything that fans sweep cells out — :func:`repro.harness.parallel.run_cells`,
+the supervisor's dispatch rounds, the faults sweep, ``run_batch`` — schedules
+through the :class:`CellExecutor` interface defined here instead of assuming a
+``concurrent.futures.ProcessPoolExecutor``.  A backend only has to turn a
+:class:`~repro.harness.parallel.Cell` into a ``concurrent.futures.Future``;
+merge-by-key determinism, supervision, journaling and the content-addressed
+cell store all layer on top unchanged, so every backend renders byte-identical
+reports.
+
+Backends
+--------
+:class:`SerialExecutor`
+    Executes each cell inline at submit time.  The explicit spelling of
+    ``--jobs 1`` for harness benchmarking and debugging.
+:class:`LocalPoolExecutor`
+    The classic process pool, plus *chunked dispatch*: with ``chunk > 1``
+    cells are submitted in deterministic batches (one future per chunk
+    internally, still one future per cell externally), cutting the
+    per-cell IPC/pickling overhead that dominates large sweeps of cheap
+    cells.
+:class:`~repro.harness.netqueue.WorkQueueExecutor`
+    A TCP work queue: remote ``repro worker --connect HOST:PORT``
+    processes lease cells over length-prefixed JSON frames; a worker
+    that vanishes mid-cell has its lease re-queued, so the sweep
+    completes as long as one worker survives.
+:class:`TransientExecutor`
+    A wrapper policy, not a transport: it resubmits cells whose worker
+    died (``BrokenProcessPool`` / :class:`WorkerLostError`) to a
+    recycled inner backend a bounded number of times, so *any* backend
+    absorbs transient worker death; failures past the bound surface as
+    worker-loss for the supervisor's retry/journal machinery to own.
+
+Activation
+----------
+``run_cells(..., executor=...)`` takes an explicit backend;
+:func:`executor_scope` (what ``repro run --backend SPEC`` uses via
+``run_batch(backend=...)``) installs one for a whole batch; and
+:func:`make_executor` parses the ``--backend`` spec grammar
+(``serial`` | ``pool[:chunk=K]`` | ``chunked`` | ``tcp:HOST:PORT[,spawn=N]``,
+optionally wrapped as ``transient:<spec>``).  See ``docs/distributed.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+import typing as _t
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import ConfigError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.parallel import Cell
+
+
+class WorkerLostError(Exception):
+    """A transport-level worker was lost while (or before) running a cell.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: a vanished
+    worker says nothing about the cell itself, so the supervisor treats
+    it exactly like a broken process pool — retry or degrade, never
+    "deterministic failure".
+    """
+
+
+#: Exceptions that mean "the executor lost a worker", across transports.
+WORKER_LOSS_ERRORS = (BrokenProcessPool, WorkerLostError)
+
+
+def _settle_future(fut: Future, value: _t.Any = None,
+                   exc: BaseException | None = None) -> None:
+    """Complete a manually managed future, tolerating cancellation."""
+    if fut.cancelled():
+        return
+    try:
+        if exc is not None:
+            fut.set_exception(exc)
+        else:
+            fut.set_result(value)
+    except Exception:  # InvalidStateError: racing cancel/settle, drop it
+        pass
+
+
+def _mark_running(fut: Future) -> bool:
+    """Move a manual future to RUNNING; False when it was cancelled.
+
+    Safe to call again for a future that is already running (a
+    re-queued lease keeps its original future).
+    """
+    if fut.cancelled():
+        return False
+    if fut.running():
+        return True
+    try:
+        return fut.set_running_or_notify_cancel()
+    except RuntimeError:
+        return not fut.done()
+
+
+# ---------------------------------------------------------------------------
+# The interface
+# ---------------------------------------------------------------------------
+
+class CellExecutor:
+    """One transport for executing sweep cells.
+
+    The contract is deliberately tiny: :meth:`submit` returns a
+    ``concurrent.futures.Future`` for one cell (so ``wait``/
+    ``as_completed`` and the supervisor's watchdog work on every
+    backend), :meth:`submit_many` may batch, :meth:`recycle` yields the
+    executor to use for the next supervised dispatch round after a
+    disruption, and :meth:`shutdown` releases the transport.  Executors
+    never reorder results — callers always merge by cell key in cell
+    order, which is what keeps every backend byte-identical.
+    """
+
+    #: Short backend name (also the ``--backend`` spec head).
+    kind = "abstract"
+    #: Whether cells run outside the submitting thread of control.
+    parallel = True
+
+    def submit(self, cell: "Cell") -> Future:
+        raise NotImplementedError
+
+    def submit_many(self, cells: _t.Sequence["Cell"]) -> list[Future]:
+        """Futures for ``cells``, in cell order (backends may batch)."""
+        return [self.submit(c) for c in cells]
+
+    def recycle(self, kill: bool = False) -> "CellExecutor":
+        """The executor for the next dispatch round after a disruption.
+
+        ``kill`` means workers may be hung (tear them down hard).  The
+        default tears this executor down and hands back ``self`` —
+        backends that can rebuild lazily (the local pool) or shrug off
+        individual worker loss (the work queue) return themselves.
+        """
+        self.shutdown(kill=kill)
+        return self
+
+    def shutdown(self, kill: bool = False) -> None:
+        """Release the transport (idempotent).
+
+        ``kill=True`` must not wait on hung or dead workers: cancel
+        queued cells, terminate what can be terminated, return.
+        """
+
+    def describe(self) -> str:
+        return self.kind
+
+    def banner(self) -> str | None:
+        """One-line ``executor: ...`` summary (stderr only), or ``None``."""
+        return None
+
+    def __enter__(self) -> "CellExecutor":
+        return self
+
+    def __exit__(self, exc_type: _t.Any, *_exc: _t.Any) -> None:
+        self.shutdown(kill=exc_type is not None)
+
+
+class SerialExecutor(CellExecutor):
+    """Inline execution at submit time — the ``--backend serial`` spelling."""
+
+    kind = "serial"
+    parallel = False
+
+    def __init__(self) -> None:
+        self.dispatched = 0
+
+    def submit(self, cell: "Cell") -> Future:
+        from repro.harness.parallel import _execute
+
+        fut: Future = Future()
+        fut.set_running_or_notify_cancel()
+        self.dispatched += 1
+        try:
+            value = _execute(cell)
+        except Exception as exc:  # KeyboardInterrupt/SystemExit propagate
+            fut.set_exception(exc)
+        else:
+            fut.set_result(value)
+        return fut
+
+    def banner(self) -> str:
+        return f"executor: serial: {self.dispatched} cell(s) dispatched"
+
+
+# ---------------------------------------------------------------------------
+# Local process pool (with chunked dispatch)
+# ---------------------------------------------------------------------------
+
+def _execute_chunk(cells: _t.Sequence["Cell"]) -> list[tuple[bool, _t.Any]]:
+    """Run one deterministic chunk of cells inside a pool worker.
+
+    Each cell's outcome travels back as ``(ok, value-or-exception)`` so
+    one raising cell never poisons its chunk-mates — the same pickled
+    exception a per-cell future would have carried.
+    """
+    from repro.harness.parallel import _execute
+
+    out: list[tuple[bool, _t.Any]] = []
+    for cell in cells:
+        try:
+            out.append((True, _execute(cell)))
+        except Exception as exc:
+            out.append((False, exc))
+    return out
+
+
+def _fan_out_chunk(outs: list[Future], chunk_future: Future) -> None:
+    """Spread one finished chunk future over its per-cell futures."""
+    try:
+        outcomes = chunk_future.result()
+    except BaseException as exc:  # BrokenProcessPool kills the whole chunk
+        for fut in outs:
+            _mark_running(fut)
+            _settle_future(fut, exc=exc)
+        return
+    for fut, (ok, payload) in zip(outs, outcomes):
+        _mark_running(fut)
+        if ok:
+            _settle_future(fut, value=payload)
+        else:
+            _settle_future(fut, exc=payload)
+
+
+class LocalPoolExecutor(CellExecutor):
+    """The process-pool backend, refactored behind :class:`CellExecutor`.
+
+    ``chunk`` controls dispatch granularity: ``1`` (default) submits one
+    pool future per cell — the watchdog-friendly mode supervision uses —
+    while ``chunk > 1`` or ``"auto"`` groups cells into deterministic
+    batches to amortise IPC and pickling over large sweeps of cheap
+    cells (callers still get one future per cell).  The underlying pool
+    is built lazily and rebuilt after :meth:`shutdown`, so one instance
+    can serve a whole batch and survive supervisor recycling.
+    """
+
+    kind = "pool"
+
+    #: ``chunk="auto"``: aim for this many chunks per pool worker.
+    AUTO_CHUNKS_PER_WORKER = 4
+    #: ``chunk="auto"`` ceiling, so one chunk can never serialise a sweep.
+    AUTO_CHUNK_MAX = 64
+
+    def __init__(self, jobs: int | None = None, *,
+                 chunk: int | str = 1) -> None:
+        from repro.harness.parallel import resolve_jobs
+
+        self.jobs = resolve_jobs(jobs)
+        if chunk != "auto" and (not isinstance(chunk, int) or chunk < 1):
+            raise ConfigError(f"chunk must be a positive int or 'auto': {chunk!r}")
+        self.chunk = chunk
+        self.dispatched = 0
+        self._pool: ProcessPoolExecutor | None = None
+
+    def describe(self) -> str:
+        return f"pool(jobs={self.jobs}, chunk={self.chunk})"
+
+    def banner(self) -> str:
+        return (
+            f"executor: {self.describe()}: {self.dispatched} cell(s) dispatched"
+        )
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        from repro.harness.parallel import _pool_worker_init
+
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_pool_worker_init
+            )
+        return self._pool
+
+    def shutdown(self, kill: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if not kill:
+            pool.shutdown()
+            return
+        # Hard teardown: never wait on hung or dead workers, cancel
+        # everything still queued, terminate the worker processes.
+        pool.shutdown(wait=False, cancel_futures=True)
+        procs = getattr(pool, "_processes", None) or {}
+        for proc in list(procs.values()):
+            with contextlib.suppress(Exception):
+                proc.terminate()
+        for proc in list(procs.values()):
+            with contextlib.suppress(Exception):
+                proc.join(timeout=5.0)
+
+    # -- dispatch ----------------------------------------------------------
+    def submit(self, cell: "Cell") -> Future:
+        from repro.harness.parallel import _execute
+
+        self.dispatched += 1
+        return self._ensure_pool().submit(_execute, cell)
+
+    def chunk_size(self, n_cells: int) -> int:
+        """The deterministic batch size for an ``n_cells`` sweep."""
+        if self.chunk != "auto":
+            return int(self.chunk)
+        per_worker = self.jobs * self.AUTO_CHUNKS_PER_WORKER
+        auto = -(-n_cells // per_worker) if per_worker else 1  # ceil div
+        return max(1, min(auto, self.AUTO_CHUNK_MAX))
+
+    def submit_many(self, cells: _t.Sequence["Cell"]) -> list[Future]:
+        cells = list(cells)
+        size = self.chunk_size(len(cells))
+        if size <= 1:
+            return [self.submit(c) for c in cells]
+        pool = self._ensure_pool()
+        futures: list[Future] = [Future() for _ in cells]
+        self.dispatched += len(cells)
+        for start in range(0, len(cells), size):
+            outs = futures[start:start + size]
+            try:
+                chunk_future = pool.submit(_execute_chunk, cells[start:start + size])
+            except BrokenProcessPool as exc:
+                for fut in futures[start:]:
+                    _mark_running(fut)
+                    _settle_future(fut, exc=exc)
+                break
+            chunk_future.add_done_callback(
+                lambda cf, outs=outs: _fan_out_chunk(outs, cf)
+            )
+        return futures
+
+
+# ---------------------------------------------------------------------------
+# Transient-worker wrapper policy
+# ---------------------------------------------------------------------------
+
+class TransientExecutor(CellExecutor):
+    """Absorb worker death on top of any backend (``transient:<spec>``).
+
+    A cell whose future fails with worker loss is resubmitted to a
+    recycled inner executor, up to ``respawns`` extra attempts per cell
+    — the spot/transient-resource model where workers are expected to
+    vanish.  Loss past the bound surfaces as the original worker-loss
+    error, which the supervisor's retry/journal machinery (when active)
+    then owns.  Cell *results* are never touched, so wrapping a backend
+    cannot change a report.
+    """
+
+    kind = "transient"
+
+    def __init__(self, inner: CellExecutor, *, respawns: int = 2) -> None:
+        if respawns < 0:
+            raise ConfigError(f"respawns must be >= 0: {respawns}")
+        self.inner = inner
+        self.respawns = respawns
+        self.resubmitted = 0
+        self._lock = threading.Lock()
+        self._generation = 0
+
+    parallel = True
+
+    def describe(self) -> str:
+        return f"transient({self.inner.describe()}, respawns={self.respawns})"
+
+    def banner(self) -> str:
+        inner = self.inner.banner() or f"executor: {self.inner.describe()}"
+        return f"{inner}, {self.resubmitted} resubmitted after worker loss"
+
+    def _recycle_inner(self, seen_generation: int) -> None:
+        """Recycle the inner backend once per breakage generation."""
+        with self._lock:
+            if self._generation == seen_generation:
+                self.inner = self.inner.recycle(kill=True)
+                self._generation += 1
+
+    def _attach(self, outer: Future, cell: "Cell", attempt: int) -> None:
+        with self._lock:
+            generation = self._generation
+        try:
+            inner_future = self.inner.submit(cell)
+        except WORKER_LOSS_ERRORS as exc:
+            if attempt >= self.respawns:
+                _settle_future(outer, exc=exc)
+                return
+            self._recycle_inner(generation)
+            self.resubmitted += 1
+            self._attach(outer, cell, attempt + 1)
+            return
+        inner_future.add_done_callback(
+            lambda f: self._settle(outer, cell, attempt, generation, f)
+        )
+
+    def _settle(self, outer: Future, cell: "Cell", attempt: int,
+                generation: int, inner_future: Future) -> None:
+        if inner_future.cancelled():
+            outer.cancel()
+            return
+        exc = inner_future.exception()
+        if isinstance(exc, WORKER_LOSS_ERRORS) and attempt < self.respawns:
+            self._recycle_inner(generation)
+            self.resubmitted += 1
+            self._attach(outer, cell, attempt + 1)
+            return
+        if exc is not None:
+            _settle_future(outer, exc=exc)
+        else:
+            _settle_future(outer, value=inner_future.result())
+
+    def submit(self, cell: "Cell") -> Future:
+        outer: Future = Future()
+        _mark_running(outer)
+        self._attach(outer, cell, 0)
+        return outer
+
+    def recycle(self, kill: bool = False) -> "CellExecutor":
+        with self._lock:
+            self.inner = self.inner.recycle(kill=kill)
+            self._generation += 1
+        return self
+
+    def shutdown(self, kill: bool = False) -> None:
+        self.inner.shutdown(kill=kill)
+
+
+# ---------------------------------------------------------------------------
+# Activation: scope + spec grammar
+# ---------------------------------------------------------------------------
+
+_EXECUTOR: contextvars.ContextVar[CellExecutor | None] = contextvars.ContextVar(
+    "repro_cell_executor", default=None
+)
+
+
+def active_executor() -> CellExecutor | None:
+    """The cell executor currently installed for this context, if any."""
+    return _EXECUTOR.get()
+
+
+@contextlib.contextmanager
+def executor_scope(
+    executor: CellExecutor | str,
+) -> _t.Iterator[CellExecutor]:
+    """Route every ``run_cells`` call in the body through ``executor``.
+
+    Accepts an instance or a ``--backend`` spec string; the executor is
+    shut down when the scope exits (hard if the body raised).
+    """
+    if isinstance(executor, str):
+        executor = make_executor(executor)
+    token = _EXECUTOR.set(executor)
+    try:
+        yield executor
+    except BaseException:
+        _EXECUTOR.reset(token)
+        executor.shutdown(kill=True)
+        raise
+    else:
+        _EXECUTOR.reset(token)
+        executor.shutdown()
+
+
+def _parse_options(parts: _t.Sequence[str], spec: str) -> dict[str, str]:
+    options: dict[str, str] = {}
+    for part in parts:
+        if not part:
+            continue
+        if "=" not in part:
+            raise ConfigError(f"bad backend option {part!r} in {spec!r}")
+        key, _, value = part.partition("=")
+        options[key.strip()] = value.strip()
+    return options
+
+
+def make_executor(spec: str, jobs: int | None = None) -> CellExecutor:
+    """Build a backend from a ``--backend`` spec string.
+
+    Grammar (see ``docs/distributed.md``)::
+
+        serial                      inline execution
+        pool                        process pool (--jobs workers)
+        pool:chunk=K                chunked dispatch, K cells per batch
+        chunked                     process pool, chunk size chosen automatically
+        tcp:HOST:PORT[,spawn=N][,lease=S]
+                                    TCP work queue listening on HOST:PORT
+                                    (PORT 0 = ephemeral), optionally
+                                    spawning N local `repro worker`s
+        transient:<spec>            wrap any of the above in the
+                                    transient-worker respawn policy
+    """
+    spec = (spec or "").strip()
+    if spec in ("", "serial"):
+        return SerialExecutor()
+    head, _, rest = spec.partition(":")
+    head = head.strip()
+    if head == "transient":
+        if not rest:
+            raise ConfigError("transient: needs an inner backend, e.g. transient:pool")
+        return TransientExecutor(make_executor(rest, jobs))
+    if head in ("pool", "chunked"):
+        options = _parse_options(rest.split(","), spec)
+        chunk: int | str = "auto" if head == "chunked" else 1
+        if "chunk" in options:
+            raw = options.pop("chunk")
+            if raw == "auto":
+                chunk = "auto"
+            else:
+                try:
+                    chunk = int(raw)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad chunk value {raw!r} in {spec!r} "
+                        "(expected a positive int or 'auto')"
+                    ) from None
+        if options:
+            raise ConfigError(f"unknown pool backend option(s) {sorted(options)} in {spec!r}")
+        return LocalPoolExecutor(jobs, chunk=chunk)
+    if head == "tcp":
+        from repro.harness.netqueue import WorkQueueExecutor
+
+        parts = rest.split(",")
+        address = parts[0].strip()
+        host, _, port_text = address.rpartition(":")
+        if not host:
+            host, port_text = "127.0.0.1", address
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ConfigError(
+                f"bad tcp backend address {address!r} (expected HOST:PORT)"
+            ) from None
+        options = _parse_options(parts[1:], spec)
+        try:
+            spawn = int(options.pop("spawn", "0"))
+            lease = float(options.pop("lease", "60"))
+        except ValueError as exc:
+            raise ConfigError(f"bad tcp backend option in {spec!r}: {exc}") from None
+        if options:
+            raise ConfigError(f"unknown tcp backend option(s) {sorted(options)} in {spec!r}")
+        return WorkQueueExecutor(host, port, spawn=spawn, lease_timeout=lease)
+    raise ConfigError(
+        f"unknown backend spec {spec!r}; expected serial | pool[:chunk=K] | "
+        "chunked | tcp:HOST:PORT[,spawn=N] | transient:<spec>"
+    )

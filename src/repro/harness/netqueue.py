@@ -1,0 +1,579 @@
+"""TCP work-queue backend: multi-host sweep execution over a socket.
+
+The coordinator side (:class:`WorkQueueExecutor`) listens on a TCP port
+and leases cells to whatever ``repro worker --connect HOST:PORT``
+processes attach — on the same machine (``spawn=N`` launches loopback
+workers automatically) or on other hosts sharing nothing but the wire
+and, optionally, a cell store.  The worker side (:func:`run_worker`)
+executes leased cells through the exact same
+:func:`repro.harness.parallel._execute` path a local pool worker uses,
+so results are bit-identical whichever transport carried them.
+
+Wire protocol (``docs/distributed.md`` has the full matrix): 4-byte
+big-endian length prefix, then one JSON object per frame.  Values cross
+the wire through the journal's typed encoding
+(:func:`repro.harness.journal.encode_value`), the same encoding the
+cell store trusts for byte-identical round trips.
+
+    worker -> coordinator   {"op": "hello", "pid", "host"}
+    coordinator -> worker   {"op": "welcome", "version"}
+    worker -> coordinator   {"op": "ready"}
+    coordinator -> worker   {"op": "cell", "id", "worker", "args"}
+    worker -> coordinator   {"op": "result", "id", "ok", "value" | "error"}
+    worker -> coordinator   {"op": "heartbeat"}        (daemon thread)
+    coordinator -> worker   {"op": "bye"}
+
+Failure model: a worker that vanishes mid-cell (socket EOF, missed
+heartbeats past the lease timeout) has its leased cell re-queued at the
+front of the queue, so the sweep completes as long as one worker
+survives.  When the coordinator spawned its own workers and they have
+*all* exited with none connected, pending cells fail fast with
+:class:`~repro.harness.executor.WorkerLostError` instead of hanging —
+which the supervisor then absorbs by degrading to inline execution.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import json
+import os
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import traceback
+import typing as _t
+from concurrent.futures import Future
+
+from repro.errors import ConfigError, RemoteCellError, ReproError
+from repro.harness.executor import (
+    CellExecutor,
+    WorkerLostError,
+    _mark_running,
+    _settle_future,
+)
+from repro.harness.journal import decode_value, encode_value
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.parallel import Cell
+
+#: Wire protocol version; a worker refuses to serve a different one.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame, a corruption guard not a design limit.
+MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class RemoteWorkerFailure(Exception):
+    """A remote worker raised a non-:class:`~repro.errors.ReproError`.
+
+    Deliberately a plain ``Exception``: the supervisor retries generic
+    worker exceptions, exactly as it would for a local pool worker
+    raising the same thing.  Deterministic (``ReproError``) failures
+    cross the wire as :class:`~repro.errors.RemoteCellError` instead and
+    are never retried.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def send_frame(
+    sock: socket.socket, payload: dict, lock: threading.Lock | None = None
+) -> None:
+    """Write one length-prefixed JSON frame (atomically under ``lock``)."""
+    data = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME:
+        raise ConfigError(f"frame of {len(data)} bytes exceeds MAX_FRAME")
+    blob = _LEN.pack(len(data)) + data
+    if lock is None:
+        sock.sendall(blob)
+    else:
+        with lock:
+            sock.sendall(blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ConnectionError(f"oversized frame ({length} bytes)")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ConnectionError("connection closed mid-frame")
+    payload = json.loads(body.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ConnectionError(f"malformed frame payload: {payload!r}")
+    return payload
+
+
+def _encode_error(exc: BaseException) -> dict:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "config": isinstance(exc, ConfigError),
+        "repro": isinstance(exc, ReproError),
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    }
+
+
+def _decode_error(error: dict) -> BaseException:
+    kind = error.get("type", "Exception")
+    message = error.get("message", "")
+    tb = error.get("traceback", "")
+    if error.get("config"):
+        return ConfigError(message)
+    if error.get("repro"):
+        return RemoteCellError(kind, message, remote_traceback=tb)
+    text = f"remote worker raised {kind}: {message}"
+    if tb:
+        text += f"\n{tb.rstrip()}"
+    return RemoteWorkerFailure(text)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def run_worker(
+    host: str, port: int, *, heartbeat: float = 2.0
+) -> int:
+    """Serve cells from a coordinator until it says goodbye.
+
+    This is ``repro worker --connect HOST:PORT``.  The process marks
+    itself as a pool worker (so the ``REPRO_CHAOS_KILL`` chaos hook and
+    worker-only test behaviours fire exactly as they would in a local
+    pool child) and executes each leased cell through
+    :func:`repro.harness.parallel._execute`.  Worker-function exceptions
+    are reported back as structured error frames; only transport death
+    ends the loop.  Returns a process exit code.
+    """
+    from repro.harness import parallel
+
+    try:
+        sock = socket.create_connection((host, port), timeout=10.0)
+    except OSError as exc:
+        raise ConfigError(f"cannot connect to coordinator {host}:{port}: {exc}") from exc
+    sock.settimeout(None)
+    parallel._IS_POOL_WORKER = True  # lint-ok: DET007 transport marker, mirrors _pool_worker_init
+    wlock = threading.Lock()
+    stop = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop.wait(heartbeat):
+            try:
+                send_frame(sock, {"op": "heartbeat"}, wlock)
+            except OSError:
+                return
+
+    try:
+        send_frame(sock, {"op": "hello", "pid": os.getpid(),
+                          "host": socket.gethostname()}, wlock)
+        welcome = recv_frame(sock)
+        if not welcome or welcome.get("op") != "welcome":
+            raise ConfigError(f"coordinator did not welcome us: {welcome!r}")
+        if welcome.get("version") != PROTOCOL_VERSION:
+            raise ConfigError(
+                f"coordinator speaks protocol {welcome.get('version')}, "
+                f"this worker speaks {PROTOCOL_VERSION}"
+            )
+        threading.Thread(target=_heartbeat, daemon=True).start()
+        send_frame(sock, {"op": "ready"}, wlock)
+        while True:
+            frame = recv_frame(sock)
+            if frame is None or frame.get("op") == "bye":
+                return 0
+            if frame.get("op") != "cell":
+                continue
+            cell = parallel.Cell(
+                key=("net", frame["id"]),
+                worker=frame["worker"],
+                args=tuple(decode_value(frame.get("args", []))),
+            )
+            try:
+                value = parallel._execute(cell)
+            except Exception as exc:
+                payload = {"op": "result", "id": frame["id"], "ok": False,
+                           "error": _encode_error(exc)}
+            else:
+                payload = {"op": "result", "id": frame["id"], "ok": True,
+                           "value": encode_value(value)}
+            send_frame(sock, payload, wlock)
+    except (OSError, ConnectionError):
+        return 1
+    finally:
+        stop.set()
+        with contextlib.suppress(OSError):
+            sock.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+class _WorkerConn:
+    """Coordinator-side state for one attached worker."""
+
+    __slots__ = ("sock", "wlock", "name", "ready", "lease", "last_seen", "alive")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.wlock = threading.Lock()
+        self.name = "?"
+        self.ready = False
+        self.lease: int | None = None  # leased cell id
+        self.last_seen = time.monotonic()  # lint-ok: DET001 transport liveness only, never in results
+        self.alive = True
+
+
+class WorkQueueExecutor(CellExecutor):
+    """TCP work-queue coordinator: lease cells to remote workers.
+
+    ``port=0`` binds an ephemeral port (``.port`` has the real one);
+    ``spawn=N`` launches N loopback ``repro worker`` subprocesses that
+    inherit this process's environment, which is what the self-contained
+    ``--backend "tcp:127.0.0.1:0,spawn=2"`` spelling uses.  Cells leased
+    to a worker that vanishes (EOF, or no heartbeat for
+    ``lease_timeout`` seconds) are re-queued at the front of the queue
+    and keep their original future, so callers never observe the loss
+    unless every worker is gone.
+    """
+
+    kind = "tcp"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        spawn: int = 0,
+        lease_timeout: float = 60.0,
+    ) -> None:
+        if spawn < 0:
+            raise ConfigError(f"spawn must be >= 0: {spawn}")
+        if lease_timeout <= 0:
+            raise ConfigError(f"lease_timeout must be > 0: {lease_timeout}")
+        self.host = host
+        self.spawn = spawn
+        self.lease_timeout = lease_timeout
+        self.dispatched = 0
+        self.requeued = 0
+        self.workers_seen = 0
+
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._queue: collections.deque[int] = collections.deque()
+        self._futures: dict[int, Future] = {}
+        self._cells: dict[int, "Cell"] = {}
+        self._conns: list[_WorkerConn] = []
+        self._procs: list[subprocess.Popen] = []
+        self._next_id = 0
+        self._shutdown = False
+        self._failed: str | None = None
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host or "127.0.0.1", port))
+        self._listener.listen(128)
+        self.port = self._listener.getsockname()[1]
+
+        self._threads = [
+            threading.Thread(target=self._accept_loop, daemon=True),
+            threading.Thread(target=self._dispatch_loop, daemon=True),
+        ]
+        for t in self._threads:
+            t.start()
+        for _ in range(spawn):
+            self._spawn_worker()
+
+    # -- public interface --------------------------------------------------
+    def describe(self) -> str:
+        return f"tcp({self.host}:{self.port}, spawn={self.spawn})"
+
+    def banner(self) -> str:
+        return (
+            f"executor: {self.describe()}: {self.dispatched} cell(s) "
+            f"dispatched to {self.workers_seen} worker(s), "
+            f"{self.requeued} lease(s) re-queued"
+        )
+
+    def submit(self, cell: "Cell") -> Future:
+        fut: Future = Future()
+        with self._wake:
+            if self._shutdown:
+                raise RuntimeError("cannot submit to a shut-down WorkQueueExecutor")
+            if self._failed:
+                raise WorkerLostError(self._failed)
+            cell_id = self._next_id
+            self._next_id += 1
+            self._futures[cell_id] = fut
+            self._cells[cell_id] = cell
+            self._queue.append(cell_id)
+            self.dispatched += 1
+            self._wake.notify_all()
+        return fut
+
+    def recycle(self, kill: bool = False) -> "CellExecutor":
+        if not kill:
+            return self
+        # Hard recycle after a hung round: assume attached workers are
+        # wedged, drop every connection (leases re-queue onto fresh
+        # workers) and replace any spawned processes wholesale.
+        with self._wake:
+            conns, procs = self._conns[:], self._procs[:]
+            self._procs = []
+        for conn in conns:
+            self._drop(conn, requeue=True)
+        for proc in procs:
+            with contextlib.suppress(Exception):
+                proc.terminate()
+        for _ in range(self.spawn):
+            self._spawn_worker()
+        return self
+
+    def shutdown(self, kill: bool = False) -> None:
+        with self._wake:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            conns = self._conns[:]
+            self._conns = []
+            procs = self._procs[:]
+            self._procs = []
+            futures = list(self._futures.values())
+            self._futures.clear()
+            self._cells.clear()
+            self._queue.clear()
+            self._wake.notify_all()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        for conn in conns:
+            conn.alive = False
+            with contextlib.suppress(OSError):
+                send_frame(conn.sock, {"op": "bye"}, conn.wlock)
+            with contextlib.suppress(OSError):
+                conn.sock.close()
+        for proc in procs:
+            with contextlib.suppress(Exception):
+                proc.terminate()
+        for proc in procs:
+            with contextlib.suppress(Exception):
+                proc.wait(timeout=5.0)
+        for fut in futures:
+            _mark_running(fut)
+            _settle_future(
+                fut, exc=WorkerLostError("work queue shut down with cells pending")
+            )
+
+    # -- worker processes --------------------------------------------------
+    def _spawn_worker(self) -> None:
+        import repro
+
+        connect_host = self.host
+        if connect_host in ("", "0.0.0.0"):
+            connect_host = "127.0.0.1"
+        env = os.environ.copy()
+        pkg_parent = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = pkg_parent + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--connect", f"{connect_host}:{self.port}"],
+            env=env,
+        )
+        with self._wake:
+            if self._shutdown:
+                with contextlib.suppress(Exception):
+                    proc.terminate()
+                return
+            self._procs.append(proc)
+
+    # -- coordinator threads -----------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _WorkerConn(sock)
+            with self._wake:
+                if self._shutdown:
+                    conn.alive = False
+                else:
+                    self._conns.append(conn)
+                    self.workers_seen += 1
+            if not conn.alive:
+                with contextlib.suppress(OSError):
+                    sock.close()
+                continue
+            threading.Thread(
+                target=self._reader_loop, args=(conn,), daemon=True
+            ).start()
+
+    def _reader_loop(self, conn: _WorkerConn) -> None:
+        try:
+            hello = recv_frame(conn.sock)
+            if not hello or hello.get("op") != "hello":
+                raise ConnectionError(f"worker did not say hello: {hello!r}")
+            conn.name = f"{hello.get('host', '?')}:{hello.get('pid', '?')}"
+            send_frame(conn.sock, {"op": "welcome", "version": PROTOCOL_VERSION},
+                       conn.wlock)
+            while True:
+                frame = recv_frame(conn.sock)
+                if frame is None:
+                    break
+                conn.last_seen = time.monotonic()  # lint-ok: DET001 transport liveness only, never in results
+                op = frame.get("op")
+                if op == "ready":
+                    with self._wake:
+                        conn.ready = True
+                        self._wake.notify_all()
+                elif op == "result":
+                    self._on_result(conn, frame)
+                # heartbeats only refresh last_seen
+        except (OSError, ConnectionError, json.JSONDecodeError):
+            pass
+        finally:
+            self._drop(conn, requeue=True)
+
+    def _on_result(self, conn: _WorkerConn, frame: dict) -> None:
+        cell_id = frame.get("id")
+        with self._wake:
+            fut = self._futures.pop(cell_id, None)
+            self._cells.pop(cell_id, None)
+            if conn.lease == cell_id:
+                conn.lease = None
+            conn.ready = True
+            self._wake.notify_all()
+        if fut is None or fut.done():
+            return  # abandoned lease (watchdog charged it); drop late result
+        if frame.get("ok"):
+            _settle_future(fut, value=decode_value(frame.get("value")))
+        else:
+            _settle_future(fut, exc=_decode_error(frame.get("error", {})))
+
+    def _drop(self, conn: _WorkerConn, requeue: bool) -> None:
+        """A worker is gone: re-queue its lease, re-check viability."""
+        with self._wake:
+            if not conn.alive:
+                return
+            conn.alive = False
+            with contextlib.suppress(ValueError):
+                self._conns.remove(conn)
+            if requeue and conn.lease is not None:
+                cell_id, conn.lease = conn.lease, None
+                fut = self._futures.get(cell_id)
+                if fut is not None and not fut.done():
+                    self._queue.appendleft(cell_id)
+                    self.requeued += 1
+            self._wake.notify_all()
+        with contextlib.suppress(OSError):
+            conn.sock.close()
+        self._check_hopeless()
+
+    def _check_hopeless(self) -> None:
+        """Fail pending cells when our own workers are all dead.
+
+        Only engages for self-spawned fleets: with external workers the
+        coordinator cannot know whether another one is about to connect,
+        so it keeps waiting (the supervisor's watchdog owns that case).
+        """
+        to_fail: list[Future] = []
+        with self._wake:
+            if (
+                self._shutdown
+                or self._failed
+                or self.spawn == 0
+                or self._conns
+                or any(p.poll() is None for p in self._procs)
+                or not self._futures
+            ):
+                return
+            self._failed = (
+                f"all {self.spawn} spawned worker process(es) exited; "
+                "work queue has no workers left"
+            )
+            to_fail = list(self._futures.values())
+            self._futures.clear()
+            self._cells.clear()
+            self._queue.clear()
+            self._wake.notify_all()
+        for fut in to_fail:
+            _mark_running(fut)
+            _settle_future(fut, exc=WorkerLostError(self._failed))
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            assignments: list[tuple[_WorkerConn, int, "Cell"]] = []
+            stale: list[_WorkerConn] = []
+            with self._wake:
+                if self._shutdown:
+                    return
+                now = time.monotonic()  # lint-ok: DET001 transport liveness only, never in results
+                for conn in self._conns:
+                    if conn.lease is not None and (
+                        now - conn.last_seen > self.lease_timeout
+                    ):
+                        stale.append(conn)
+                ready = [c for c in self._conns if c.ready and c not in stale]
+                while self._queue and ready:
+                    cell_id = self._queue.popleft()
+                    fut = self._futures.get(cell_id)
+                    if fut is None or fut.done():
+                        self._cells.pop(cell_id, None)
+                        self._futures.pop(cell_id, None)
+                        continue
+                    if not _mark_running(fut):
+                        self._futures.pop(cell_id, None)
+                        self._cells.pop(cell_id, None)
+                        continue
+                    conn = ready.pop(0)
+                    conn.ready = False
+                    conn.lease = cell_id
+                    # The lease clock starts at assignment: a worker whose
+                    # last frame was its "ready" must not be staled out the
+                    # instant it receives work.
+                    conn.last_seen = now
+                    assignments.append((conn, cell_id, self._cells[cell_id]))
+                if not assignments and not stale:
+                    self._wake.wait(timeout=0.5)
+                    if self._shutdown:
+                        return
+            for conn in stale:
+                self._drop(conn, requeue=True)
+            for conn, cell_id, cell in assignments:
+                try:
+                    send_frame(
+                        conn.sock,
+                        {"op": "cell", "id": cell_id, "worker": cell.worker,
+                         "args": encode_value(list(cell.args))},
+                        conn.wlock,
+                    )
+                except OSError:
+                    self._drop(conn, requeue=True)
+            if self.spawn and not assignments:
+                self._check_hopeless()

@@ -29,8 +29,7 @@ import dataclasses
 import os
 import tempfile
 import typing as _t
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import as_completed
 
 from repro.errors import CellExecutionError, ConfigError
 
@@ -141,7 +140,14 @@ def check_unique_keys(cells: _t.Sequence[Cell]) -> None:
             if k in seen and k not in dupes:
                 dupes.append(k)
             seen.add(k)
-        raise ConfigError(f"duplicate cell keys: {dupes}")
+        # Name the offenders (sorted for a stable message, capped so a
+        # million-cell sweep with a systematic collision stays readable).
+        dupes.sort(key=repr)
+        shown = ", ".join(repr(k) for k in dupes[:10])
+        more = f", ... ({len(dupes) - 10} more)" if len(dupes) > 10 else ""
+        raise ConfigError(
+            f"duplicate cell keys ({len(dupes)} distinct): {shown}{more}"
+        )
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -160,32 +166,99 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def run_cells(cells: _t.Sequence[Cell], jobs: int = 1) -> dict[tuple, _t.Any]:
+def _collect(
+    executor: _t.Any, cells: _t.Sequence[Cell], store: _t.Any
+) -> dict[tuple, _t.Any]:
+    """Drive ``cells`` through a :class:`~repro.harness.executor.CellExecutor`.
+
+    Fresh results publish to ``store`` as they complete; errors are
+    collected per cell and the first one *in cell order* (never
+    completion order, which would be scheduling-dependent) re-raises
+    after the sweep drains.  A ``BaseException`` — a ``KeyboardInterrupt``
+    above all — cancels every outstanding future before propagating, so
+    the caller can tear the backend down without dangling work.
+    """
+    from repro.harness.executor import WORKER_LOSS_ERRORS
+
+    futures = executor.submit_many(cells)
+    index = {id(f): i for i, f in enumerate(futures)}
+    fresh: dict[tuple, _t.Any] = {}
+    errors: dict[int, BaseException] = {}
+    try:
+        for f in as_completed(futures):
+            i = index[id(f)]
+            c = cells[i]
+            try:
+                value = f.result()
+            except Exception as exc:
+                errors[i] = exc
+            else:
+                fresh[c.key] = value
+                if store is not None:
+                    store.publish(c.worker, c.args, value)
+    except BaseException:
+        for f in futures:
+            f.cancel()
+        raise
+    if errors:
+        i = min(errors)
+        exc = errors[i]
+        if isinstance(exc, WORKER_LOSS_ERRORS):
+            c = cells[i]
+            raise CellExecutionError(
+                key=c.key,
+                worker=c.worker,
+                attempts=1,
+                cause="worker-death",
+                detail=(
+                    f"{exc} (a worker process died; run under "
+                    "supervision — --supervise / REPRO_SUPERVISE=1 — "
+                    "to retry or degrade instead of aborting)"
+                ),
+            ) from exc
+        raise exc
+    return fresh
+
+
+def run_cells(
+    cells: _t.Sequence[Cell], jobs: int = 1, executor: _t.Any = None
+) -> dict[tuple, _t.Any]:
     """Execute ``cells`` and return ``{cell.key: result}`` in cell order.
 
-    With ``jobs > 1`` the cells fan out over a process pool; the result
-    mapping is always assembled in the order the cells were given, so
-    downstream rendering is independent of scheduling.  A failing cell
-    re-raises its exception here, whichever process it ran in; a dying
-    *worker process* surfaces as a structured
+    Cells are scheduled through a transport-agnostic
+    :class:`~repro.harness.executor.CellExecutor`: pass one explicitly,
+    install one for a whole batch with
+    :func:`~repro.harness.executor.executor_scope` (what ``--backend``
+    does), or rely on the default — inline for ``jobs <= 1``, a local
+    process pool otherwise.  The result mapping is always assembled in
+    the order the cells were given, so downstream rendering is
+    independent of the backend and of scheduling: serial, pooled,
+    chunked and multi-host TCP execution render byte-identical reports.
+    A failing cell re-raises its exception here, whichever process (or
+    host) it ran in; a dying *worker* surfaces as a structured
     :class:`~repro.errors.CellExecutionError` naming the offending cell
-    instead of an opaque ``BrokenProcessPool`` traceback.
+    instead of an opaque transport traceback.  A ``KeyboardInterrupt``
+    cancels outstanding cells and tears the backend down before
+    re-raising — nothing is left dangling.
 
     Under an active supervision scope (or ``REPRO_SUPERVISE=1``) the
     cells run through :mod:`repro.harness.supervisor` instead — same
-    mapping, same values, plus watchdog/retry/degrade/journal handling.
+    mapping, same values, plus watchdog/retry/degrade/journal handling
+    — on the same executor.
 
     Under an active cell store (:func:`repro.harness.cellstore.store_scope`
-    or ``REPRO_STORE``) each cell is first looked up by its content
-    address — worker, encoded args, code fingerprint — and served from
-    the store when present; only the misses execute, and their fresh
-    results are published back.  Served and fresh results merge by key
-    in cell order, so a store-backed sweep renders byte-identically.
+    or ``REPRO_STORE``) the sweep is *store-aware scheduled*: the plan
+    partitions cells into store hits (served), cells leased to this
+    executor (run and published), and cells another executor sharing the
+    store is computing right now (awaited from the peer instead of
+    computed twice).  Served, awaited and fresh results merge by key in
+    cell order, so a store-backed sweep renders byte-identically.
     """
     from repro.harness import cellstore as _cellstore
+    from repro.harness import executor as _executor
     from repro.harness import supervisor as _supervisor
 
-    supervised = _supervisor.supervised_results(cells, jobs)
+    supervised = _supervisor.supervised_results(cells, jobs, executor)
     if supervised is not None:
         return supervised
     cells = list(cells)
@@ -193,44 +266,51 @@ def run_cells(cells: _t.Sequence[Cell], jobs: int = 1) -> dict[tuple, _t.Any]:
     jobs = resolve_jobs(jobs)
 
     store = _cellstore.active_store()
+    backend = executor if executor is not None else _executor.active_executor()
+
     served: dict[tuple, _t.Any] = {}
-    pending = cells
+    pending: _t.Sequence[Cell] = cells
+    deferred: list[Cell] = []
     if store is not None:
-        pending = []
-        for c in cells:
-            value = store.lookup(c.worker, c.args)
-            if value is _cellstore.MISS:
-                pending.append(c)
-            else:
-                served[c.key] = value
+        plan = store.plan_cells(cells)
+        served, pending, deferred = plan.served, plan.to_run, plan.deferred
 
     fresh: dict[tuple, _t.Any] = {}
-    if jobs <= 1 or len(pending) <= 1:
-        for c in pending:
-            fresh[c.key] = _execute(c)
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)), initializer=_pool_worker_init
-        ) as pool:
-            futures = [pool.submit(_execute, c) for c in pending]
-            for c, f in zip(pending, futures):
-                try:
-                    fresh[c.key] = f.result()
-                except BrokenProcessPool as exc:
-                    raise CellExecutionError(
-                        key=c.key,
-                        worker=c.worker,
-                        attempts=1,
-                        cause="worker-death",
-                        detail=(
-                            f"{exc} (a pool worker process died; run under "
-                            "supervision — --supervise / REPRO_SUPERVISE=1 — "
-                            "to retry or degrade instead of aborting)"
-                        ),
-                    ) from exc
-    if store is not None:
-        for c in pending:
-            store.publish(c.worker, c.args, fresh[c.key])
+    try:
+        if backend is None and (jobs <= 1 or len(pending) <= 1):
+            for c in pending:
+                fresh[c.key] = _execute(c)
+                if store is not None:
+                    store.publish(c.worker, c.args, fresh[c.key])
+        elif pending:
+            owned = backend is None
+            exec_ = (
+                backend
+                if backend is not None
+                else _executor.LocalPoolExecutor(min(jobs, len(pending)))
+            )
+            try:
+                fresh.update(_collect(exec_, pending, store))
+            except BaseException:
+                if owned:
+                    # Satellite fix: shut the pool down hard (cancelled
+                    # futures, terminated workers) before re-raising, so
+                    # a KeyboardInterrupt never leaves it dangling.
+                    exec_.shutdown(kill=True)
+                raise
+            else:
+                if owned:
+                    exec_.shutdown()
+        for c in deferred:
+            value = store.await_peer(c.worker, c.args)
+            if value is _cellstore.MISS:
+                value = _execute(c)
+                store.publish(c.worker, c.args, value)
+            served[c.key] = value
+    except BaseException:
+        if store is not None:
+            store.release_leases()
+        raise
     return {
         c.key: served[c.key] if c.key in served else fresh[c.key] for c in cells
     }
@@ -341,6 +421,21 @@ def arrivef_point(seed: int) -> dict[str, float]:
     from repro.arrivef.framework import throughput_experiment
 
     return throughput_experiment(seed=seed)
+
+
+@cell_worker("bench_cell")
+def bench_cell(idx: int, spin: int = 64) -> dict[str, float]:
+    """One near-zero-cost synthetic cell for the dispatch microbenchmark.
+
+    ``repro bench harness`` sweeps hundreds of these to measure pure
+    harness overhead (pickling, IPC, scheduling) per backend; the tiny
+    deterministic spin keeps the payload from optimising away while the
+    cell stays far cheaper than any real simulation.
+    """
+    acc = 0
+    for i in range(spin):
+        acc = (acc * 31 + idx + i) % 1000003
+    return {"value": float(acc)}
 
 
 @cell_worker("faults_point")

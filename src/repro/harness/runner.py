@@ -45,6 +45,11 @@ class BatchResult:
     #: cold-store and a warm-store run, and both must render
     #: byte-identical reports.
     store_summary: str | None = None
+    #: One-line ``executor: ...`` dispatch-backend banner (None unless the
+    #: batch ran with an explicit ``backend=``).  Stderr-only like the
+    #: harness and store banners: dispatch tallies are scheduling detail,
+    #: and every backend must render byte-identical reports.
+    executor_summary: str | None = None
     #: Experiments whose sweep cells ultimately failed, by experiment id.
     #: Their outputs render as explicit ``FAILED(<cause>)`` entries and
     #: the CLI exits 3 ("partial") when this is non-empty.
@@ -122,6 +127,7 @@ def run_batch(
     sim_iters: int | None = None,
     supervisor: "SupervisorPolicy | None" = None,
     store: "str | pathlib.Path | None" = None,
+    backend: str | None = None,
     progress: _t.Callable[[str], None] | None = None,
 ) -> BatchResult:
     """Run ``experiment_ids`` (default: every registered experiment).
@@ -182,6 +188,19 @@ def run_batch(
     :attr:`BatchResult.store_summary` (stderr-only, like the harness
     banner).  Composes with supervision and the journal: resume hits
     win over store hits, and both are never served across a code edit.
+    When several executors share one store, sweep dispatch is
+    store-aware: each executor leases the cells it will compute and
+    awaits cells a peer holds, so no cell is ever computed twice.
+
+    ``backend`` schedules every sweep cell through an explicit
+    :class:`~repro.harness.executor.CellExecutor` backend, given as a
+    ``--backend`` spec string (``serial`` | ``pool[:chunk=K]`` |
+    ``chunked`` | ``tcp:HOST:PORT[,spawn=N]`` | ``transient:<spec>``,
+    see :func:`~repro.harness.executor.make_executor` and
+    ``docs/distributed.md``).  The backend is transport only — results
+    always merge by cell key in cell order — so every backend renders a
+    byte-identical report; its one-line banner lands in
+    :attr:`BatchResult.executor_summary` (stderr-only).
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -279,13 +298,23 @@ def run_batch(
         result.harness_summary = sup.banner()
         return result
 
-    if store is None:
-        result = _run_supervised_perf()
-    else:
+    def _run_stored() -> BatchResult:
+        if store is None:
+            return _run_supervised_perf()
         from repro.harness.cellstore import store_scope
 
         with store_scope(store) as cs:
             result = _run_supervised_perf()
         result.store_summary = cs.banner()
+        return result
+
+    if backend is None:
+        result = _run_stored()
+    else:
+        from repro.harness.executor import executor_scope, make_executor
+
+        with executor_scope(make_executor(backend, jobs)) as ex:
+            result = _run_stored()
+            result.executor_summary = ex.banner()
     result.failures = dict(cell_failures)
     return result

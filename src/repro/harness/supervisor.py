@@ -51,10 +51,15 @@ import os
 import pathlib
 import traceback
 import typing as _t
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 
 from repro.errors import CellExecutionError, ConfigError, ReproError
+from repro.harness.executor import (
+    WORKER_LOSS_ERRORS,
+    CellExecutor,
+    LocalPoolExecutor,
+    active_executor,
+)
 from repro.harness.journal import (
     RunJournal,
     hash_matches,
@@ -116,6 +121,7 @@ class HarnessStats:
     ok: int = 0
     journal_hits: int = 0
     store_hits: int = 0
+    peer_hits: int = 0
     retried: int = 0
     degraded: int = 0
     failed: int = 0
@@ -124,6 +130,7 @@ class HarnessStats:
         self.ok += other.ok
         self.journal_hits += other.journal_hits
         self.store_hits += other.store_hits
+        self.peer_hits += other.peer_hits
         self.retried += other.retried
         self.degraded += other.degraded
         self.failed += other.failed
@@ -136,6 +143,8 @@ class HarnessStats:
             served.append(f"{self.journal_hits} from journal")
         if self.store_hits:
             served.append(f"{self.store_hits} from store")
+        if self.peer_hits:
+            served.append(f"{self.peer_hits} from peer executor")
         if served:
             text += f" ({', '.join(served)})"
         text += (
@@ -237,24 +246,29 @@ def cell_namespace(name: str) -> _t.Iterator[None]:
 
 
 def supervised_results(
-    cells: _t.Sequence["Cell"], jobs: int
+    cells: _t.Sequence["Cell"], jobs: int, executor: CellExecutor | None = None
 ) -> dict[tuple, _t.Any] | None:
     """The ``run_cells`` supervision hook.
 
     Executes under the active scope, or under a ``REPRO_SUPERVISE``
     default policy; returns ``None`` when unsupervised so ``run_cells``
-    falls through to its plain path.  A cell that ultimately fails
-    raises its :class:`CellExecutionError` here (first in cell order) —
-    the batch runner catches it per experiment.
+    falls through to its plain path.  ``executor`` (an explicit
+    ``run_cells`` backend) is honoured under supervision too.  A cell
+    that ultimately fails raises its :class:`CellExecutionError` here
+    (first in cell order) — the batch runner catches it per experiment.
     """
     scope = _SCOPE.get()
     if scope is not None:
-        report = run_cells_supervised(cells, jobs=jobs, scope=scope)
+        report = run_cells_supervised(
+            cells, jobs=jobs, scope=scope, executor=executor
+        )
     else:
         policy = policy_from_env()
         if policy is None:
             return None
-        report = run_cells_supervised(cells, jobs=jobs, policy=policy)
+        report = run_cells_supervised(
+            cells, jobs=jobs, policy=policy, executor=executor
+        )
     if report.failures:
         raise next(iter(report.failures.values()))
     return report.results
@@ -297,20 +311,24 @@ def run_cells_supervised(
     policy: SupervisorPolicy | None = None,
     scope: SupervisionScope | None = None,
     namespace: str | None = None,
+    executor: CellExecutor | None = None,
 ) -> SweepReport:
     """Execute ``cells`` under supervision and return a :class:`SweepReport`.
 
     Pass either an open ``scope`` (shares its journal/resume/stats) or a
     ``policy`` (an ephemeral scope is opened and closed around the
     call).  ``namespace`` overrides the scope's journal-key namespace.
-    Results merge by key in cell order, exactly like plain
+    ``executor`` picks the dispatch backend explicitly; otherwise the
+    active :func:`~repro.harness.executor.executor_scope` backend is
+    used, falling back to a local pool sized by ``jobs``.  Results merge
+    by key in cell order, exactly like plain
     :func:`~repro.harness.parallel.run_cells`.
     """
     own: SupervisionScope | None = None
     if scope is None:
         own = scope = SupervisionScope(policy or SupervisorPolicy())
     try:
-        return _run_supervised(cells, jobs, scope, namespace)
+        return _run_supervised(cells, jobs, scope, namespace, executor)
     finally:
         if own is not None:
             own.close()
@@ -321,12 +339,12 @@ def _run_supervised(
     jobs: int,
     scope: SupervisionScope,
     namespace: str | None,
+    executor: CellExecutor | None = None,
 ) -> SweepReport:
     from repro.harness.parallel import check_unique_keys, resolve_jobs
 
     cells = list(cells)
     check_unique_keys(cells)
-    policy = scope.policy
     ns = scope.namespace if namespace is None else namespace
     stats = HarnessStats()
     results: dict[tuple, _t.Any] = {}
@@ -339,6 +357,7 @@ def _run_supervised(
 
     store = _active_store()
     tasks: list[_Task] = []
+    deferred: list["Cell"] = []
     for c in cells:
         digest = payload_hash(c.worker, c.args)
         code = _code_fingerprint(c.worker, fingerprints) if want_code else None
@@ -365,21 +384,75 @@ def _run_supervised(
                 results[c.key] = value
                 stats.store_hits += 1
                 continue
+            if not store.try_lease(c.worker, c.args):
+                # Store-aware scheduling: another executor sharing this
+                # store holds the lease — await its result instead of
+                # computing the cell a second time.
+                deferred.append(c)
+                continue
         tasks.append(_Task(c, digest, code))
 
     jobs_n = resolve_jobs(jobs)
+    backend = executor if executor is not None else active_executor()
     pending = tasks
     inline: list[_Task] = []
-    if jobs_n > 1 and len(pending) > 1:
-        while pending:
-            pending, demoted = _pool_round(
-                pending, jobs_n, scope, ns, results, failures
+    use_pool = (
+        backend.parallel
+        if backend is not None
+        else (jobs_n > 1 and len(pending) > 1)
+    )
+    try:
+        if use_pool and pending:
+            owned = backend is None
+            exec_ = (
+                backend
+                if backend is not None
+                else LocalPoolExecutor(min(jobs_n, len(pending)))
             )
-            inline.extend(demoted)
-    else:
-        inline = pending
-    for task in inline:
-        _run_inline(task, scope, ns, results, failures)
+            try:
+                while pending:
+                    pending, demoted, disrupted = _pool_round(
+                        pending, exec_, scope, ns, results, failures
+                    )
+                    inline.extend(demoted)
+                    if disrupted:
+                        # Hung or broken workers: recycle the backend so
+                        # the next round (and the rest of the batch)
+                        # dispatches onto healthy ones.
+                        exec_ = exec_.recycle(kill=True)
+            except BaseException:
+                if owned:
+                    exec_.shutdown(kill=True)
+                raise
+            else:
+                if owned:
+                    exec_.shutdown()
+        else:
+            inline = pending
+        for task in inline:
+            _run_inline(task, scope, ns, results, failures)
+        for c in deferred:
+            from repro.harness.cellstore import MISS
+
+            value = store.await_peer(c.worker, c.args)
+            if value is not MISS:
+                results[c.key] = value
+                stats.peer_hits += 1
+                continue
+            # The peer gave up (or died): the lease is ours now, run it.
+            task = _Task(
+                c,
+                payload_hash(c.worker, c.args),
+                _code_fingerprint(c.worker, fingerprints) if want_code else None,
+            )
+            tasks.append(task)
+            _run_inline(task, scope, ns, results, failures)
+    finally:
+        if store is not None:
+            # Leases for published cells are already gone; what remains
+            # covers failed/aborted cells — free them so peers stop
+            # waiting and compute those cells themselves.
+            store.release_leases()
 
     for task in tasks:
         if task.demoted:
@@ -495,35 +568,33 @@ def _run_inline(
 
 def _pool_round(
     tasks: list[_Task],
-    jobs_n: int,
+    executor: CellExecutor,
     scope: SupervisionScope,
     ns: str,
     results: dict[tuple, _t.Any],
     failures: dict[tuple, CellExecutionError],
-) -> tuple[list[_Task], list[_Task]]:
-    """One process-pool generation over ``tasks``.
+) -> tuple[list[_Task], list[_Task], bool]:
+    """One dispatch generation over ``tasks`` on ``executor``.
 
-    Returns ``(retry, demoted)``: cells to run in a fresh pool and cells
-    demoted to inline serial execution.  Successes and exhausted
-    failures are recorded directly.
+    Returns ``(retry, demoted, disrupted)``: cells to re-dispatch in the
+    next round, cells demoted to inline serial execution, and whether
+    the backend lost workers (hung or dead) and should be recycled
+    before that next round.  Successes and exhausted failures are
+    recorded directly.  Cells are submitted one future each — never
+    chunked — because the watchdog needs per-cell completion granularity.
     """
-    from repro.harness.parallel import _execute, _pool_worker_init
-
     policy = scope.policy
     retry: list[_Task] = []
     demoted: list[_Task] = []
-    pool = ProcessPoolExecutor(
-        max_workers=min(jobs_n, len(tasks)), initializer=_pool_worker_init
-    )
     fut_to_task: dict[Future, _Task] = {}
     broken = hung = False
     try:
         for task in tasks:
-            fut_to_task[pool.submit(_execute, task.cell)] = task
-    except BrokenProcessPool:
+            fut_to_task[executor.submit(task.cell)] = task
+    except WORKER_LOSS_ERRORS:
         broken = True
-        submitted = set(fut_to_task.values())
-        retry.extend(t for t in tasks if t not in submitted)
+        submitted = set(id(t) for t in fut_to_task.values())
+        retry.extend(t for t in tasks if id(t) not in submitted)
     not_done: set[Future] = set(fut_to_task)
     while not_done and not broken:
         done, not_done = wait(
@@ -536,12 +607,11 @@ def _pool_round(
             task = fut_to_task[fut]
             try:
                 value = fut.result()
-            except BrokenProcessPool:
+            except WORKER_LOSS_ERRORS:
                 broken = True
                 retry.append(task)
             except ConfigError:
-                _shutdown_pool(pool, kill=False)
-                raise
+                raise  # fatal; the caller tears the backend down
             except ReproError as exc:
                 task.attempts += 1
                 task.causes.append("worker-exception")
@@ -594,17 +664,17 @@ def _pool_round(
                     )
             for fut in queued:
                 # Queued behind the hung worker: a victim, re-run in the
-                # next pool without charging an attempt.
+                # next round without charging an attempt.
                 fut.cancel()
                 retry.append(fut_to_task[fut])
-        _shutdown_pool(pool, kill=True)
     elif broken:
         for fut in not_done:
+            if not fut.done():
+                fut.cancel()
             retry.append(fut_to_task[fut])
-        _shutdown_pool(pool, kill=False)
-        # A dead worker poisons the whole pool; demote the affected
-        # cells to inline serial execution instead of gambling on a
-        # fresh pool (unless degradation is disabled).
+        # A dead worker poisons the whole backend; demote the affected
+        # cells to inline serial execution instead of gambling on fresh
+        # workers (unless degradation is disabled).
         affected, retry = retry, []
         for task in affected:
             if policy.degrade:
@@ -624,20 +694,4 @@ def _pool_round(
                     task, "worker-death", None,
                     detail="pool worker process died",
                 )
-    else:
-        pool.shutdown()
-    return retry, demoted
-
-
-def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool) -> None:
-    """Tear a pool down without waiting on hung or dead workers."""
-    pool.shutdown(wait=False, cancel_futures=True)
-    if not kill:
-        return
-    procs = getattr(pool, "_processes", None) or {}
-    for proc in list(procs.values()):
-        with contextlib.suppress(Exception):
-            proc.terminate()
-    for proc in list(procs.values()):
-        with contextlib.suppress(Exception):
-            proc.join(timeout=5.0)
+    return retry, demoted, hung or broken

@@ -10,11 +10,14 @@ CLI (stats/verify/gc/export/import).
 from __future__ import annotations
 
 import json
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
 from repro.cli import main
+from repro.errors import ConfigError
 from repro.harness.cellstore import (
     MISS,
     CellStore,
@@ -299,6 +302,168 @@ class TestConcurrentWriters:
         assert stats.records == 16  # overlap appended twice, served once
         assert stats.torn_lines == 0
         assert store.verify().clean
+
+
+# ---------------------------------------------------------------------------
+# Leases: store-aware scheduling across executors
+# ---------------------------------------------------------------------------
+
+class TestLeases:
+    def test_lease_excludes_peer_until_publish(self, tmp_path, fake_fingerprints):
+        a = CellStore(tmp_path / "store")
+        b = CellStore(tmp_path / "store")
+        assert a.try_lease("cs_count", (1,))
+        assert not b.try_lease("cs_count", (1,))
+        a.publish("cs_count", (1,), {"v": 1.0})  # publish releases the claim
+        assert list(a.leases_dir.iterdir()) == []
+        assert b.lookup("cs_count", (1,)) == {"v": 1.0}
+
+    def test_release_leases_frees_peers(self, tmp_path, fake_fingerprints):
+        a = CellStore(tmp_path / "store")
+        b = CellStore(tmp_path / "store")
+        assert a.try_lease("cs_count", (1,)) and a.try_lease("cs_count", (2,))
+        a.release_leases()  # the error-path cleanup
+        assert b.try_lease("cs_count", (1,)) and b.try_lease("cs_count", (2,))
+
+    def test_uncacheable_worker_needs_no_lease(self, tmp_path):
+        # No code fingerprint -> no content address -> nothing to
+        # coordinate on: everyone just runs it.
+        store = CellStore(tmp_path / "store")
+        assert store.try_lease("cs_count", (1,))
+        assert store.try_lease("cs_count", (1,))
+        assert not store.leases_dir.exists()
+
+    def test_stale_lease_taken_over(self, tmp_path, fake_fingerprints):
+        a = CellStore(tmp_path / "store")
+        assert a.try_lease("cs_count", (1,))
+        [lease] = list(a.leases_dir.iterdir())
+        old = time.time() - 60.0
+        os.utime(lease, (old, old))  # the owner "crashed" a minute ago
+        b = CellStore(tmp_path / "store", lease_ttl=5.0)
+        assert b.try_lease("cs_count", (1,))
+        assert b.takeovers == 1
+
+    def test_bad_ttl_rejected(self, tmp_path, monkeypatch):
+        with pytest.raises(ConfigError, match="lease TTL"):
+            CellStore(tmp_path / "store", lease_ttl=0)
+        monkeypatch.setenv("REPRO_STORE_LEASE_TTL", "-3")
+        with pytest.raises(ConfigError, match="lease TTL"):
+            CellStore(tmp_path / "store")
+
+    def test_plan_cells_partitions(self, tmp_path, fake_fingerprints):
+        mine = CellStore(tmp_path / "store")
+        peer = CellStore(tmp_path / "store")
+        mine.publish("cs_count", (0,), {"v": 0.0})
+        assert peer.try_lease("cs_count", (2,))  # peer is computing (2,)
+        plan = mine.plan_cells([Cell((i,), "cs_count", (i,)) for i in range(3)])
+        assert list(plan.served) == [(0,)]
+        assert [c.key for c in plan.to_run] == [(1,)]
+        assert [c.key for c in plan.deferred] == [(2,)]
+
+    def test_await_peer_serves_published_value(self, tmp_path, fake_fingerprints):
+        mine = CellStore(tmp_path / "store")
+        peer = CellStore(tmp_path / "store")
+        assert peer.try_lease("cs_count", (2,))
+        plan = mine.plan_cells([Cell((2,), "cs_count", (2,))])
+        assert [c.key for c in plan.deferred] == [(2,)]
+        peer.publish("cs_count", (2,), {"v": 4.0})
+        assert mine.await_peer("cs_count", (2,)) == {"v": 4.0}
+        # The planned miss became a peer-served hit: the banner's
+        # "executed" count must not claim we computed it.
+        assert mine.hits == 1 and mine.misses == 0 and mine.peer_waits == 1
+        assert "1 awaited from peer(s)" in mine.banner()
+
+    def test_await_peer_reclaims_released_lease(self, tmp_path,
+                                                fake_fingerprints):
+        mine = CellStore(tmp_path / "store")
+        peer = CellStore(tmp_path / "store")
+        assert peer.try_lease("cs_count", (2,))
+        peer.release_leases()  # the peer aborted without publishing
+        assert mine.await_peer("cs_count", (2,)) is MISS
+        assert not peer.try_lease("cs_count", (2,))  # we hold it now
+
+    def test_await_peer_gives_up_at_deadline(self, tmp_path, fake_fingerprints):
+        mine = CellStore(tmp_path / "store")
+        peer = CellStore(tmp_path / "store")
+        assert peer.try_lease("cs_count", (2,))
+        t0 = time.monotonic()
+        assert mine.await_peer("cs_count", (2,), poll=0.01, max_wait=0.1) is MISS
+        assert time.monotonic() - t0 < 5.0  # gave up, did not wait out the TTL
+
+    def test_gc_reaps_stale_lease_files(self, tmp_path, fake_fingerprints):
+        store = CellStore(tmp_path / "store", lease_ttl=5.0)
+        store.publish("cs_count", (0,), {"v": 0.0})
+        assert store.try_lease("cs_count", (1,))
+        [lease] = list(store.leases_dir.iterdir())
+        old = time.time() - 60.0
+        os.utime(lease, (old, old))
+        store.gc(dry_run=True)
+        assert lease.exists()  # dry run only reports
+        store.gc()
+        assert not lease.exists()
+
+
+# ---------------------------------------------------------------------------
+# Two executors, one store: the never-compute-twice guarantee
+# ---------------------------------------------------------------------------
+
+def _race_sweep(root: str, marker_dir: str, backend: str,
+                xs: list[int]) -> dict:
+    """One store-backed sweep over ``xs`` through ``backend`` (subprocess)."""
+    import repro.analysis.static as static
+
+    os.environ.pop("REPRO_SUPERVISE", None)
+    real = static.worker_fingerprint
+    static.worker_fingerprint = (
+        lambda worker: "77" * 16 if worker == "cs_race" else real(worker)
+    )
+    from repro.harness.executor import make_executor
+
+    cells = [Cell((x,), "cs_race", (x, marker_dir)) for x in xs]
+    with store_scope(CellStore(root)) as store:
+        ex = make_executor(backend, 2)
+        try:
+            results = run_cells(cells, executor=ex)
+        finally:
+            ex.shutdown(kill=True)
+    return {"results": results, "peer_waits": store.peer_waits,
+            "published": store.published}
+
+
+@cell_worker("cs_race")
+def _cs_race(x, marker_dir):
+    """Slow worker leaving one unique marker file per actual execution."""
+    import tempfile
+
+    time.sleep(0.05)
+    fd, _path = tempfile.mkstemp(prefix=f"cell{x}-", dir=marker_dir)
+    os.close(fd)
+    return {"v": float(x)}
+
+
+class TestTwoExecutorsOneStore:
+    def test_overlapping_sweeps_execute_each_cell_once(self, tmp_path):
+        # The acceptance criterion: two processes race overlapping cells
+        # through two *different* backends sharing one store; the lease
+        # protocol must ensure no cell is ever computed twice.
+        root = str(tmp_path / "store")
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        a_xs = list(range(8))       # 0..7
+        b_xs = list(range(4, 12))   # 4..11 — four contested cells
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            fa = pool.submit(_race_sweep, root, str(markers), "pool:chunk=2", a_xs)
+            fb = pool.submit(_race_sweep, root, str(markers), "serial", b_xs)
+            ra, rb = fa.result(timeout=300), fb.result(timeout=300)
+        for x in range(12):
+            runs = [p for p in markers.iterdir()
+                    if p.name.startswith(f"cell{x}-")]
+            assert len(runs) == 1, f"cell {x} executed {len(runs)} time(s)"
+        # Both sweeps still see every one of their results, exactly as
+        # if they had computed everything themselves.
+        assert ra["results"] == {(x,): {"v": float(x)} for x in a_xs}
+        assert rb["results"] == {(x,): {"v": float(x)} for x in b_xs}
+        assert ra["published"] + rb["published"] == 12
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,343 @@
+"""Tests for the transport-agnostic cell executors (repro.harness.executor).
+
+The contract under test is the tentpole invariant: every backend —
+serial, per-cell pool futures, chunked dispatch, the transient-worker
+wrapper — produces the same ``{key: result}`` mapping for the same
+cells, so reports are byte-identical regardless of how cells were
+scheduled.  Plus the lifecycle guarantees: spec-string parsing, scope
+activation, hard teardown on interrupt, and bounded worker-loss
+resubmission.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import Future
+
+import pytest
+
+import repro.harness.executor as executor_mod
+from repro.errors import ConfigError
+from repro.harness.executor import (
+    LocalPoolExecutor,
+    SerialExecutor,
+    TransientExecutor,
+    WorkerLostError,
+    active_executor,
+    executor_scope,
+    make_executor,
+)
+from repro.harness.parallel import Cell, cell_worker, run_cells
+
+
+@cell_worker("ex_square")
+def _ex_square(x):
+    return {"v": float(x * x)}
+
+
+@cell_worker("ex_boom")
+def _ex_boom(x):
+    if x == 3:
+        raise ValueError(f"boom at {x}")
+    return {"v": float(x)}
+
+
+@cell_worker("ex_interrupt")
+def _ex_interrupt(x):
+    raise KeyboardInterrupt
+
+
+def _cells(n, worker="ex_square"):
+    return [Cell((i,), worker, (i,)) for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# SerialExecutor
+# ---------------------------------------------------------------------------
+
+class TestSerial:
+    def test_executes_at_submit(self):
+        ex = SerialExecutor()
+        fut = ex.submit(Cell((2,), "ex_square", (2,)))
+        assert fut.done() and fut.result() == {"v": 4.0}
+        assert ex.dispatched == 1 and not ex.parallel
+        assert "1 cell(s) dispatched" in ex.banner()
+
+    def test_captures_cell_exceptions(self):
+        ex = SerialExecutor()
+        fut = ex.submit(Cell((3,), "ex_boom", (3,)))
+        assert isinstance(fut.exception(), ValueError)
+
+    def test_lets_interrupts_fly(self):
+        # A KeyboardInterrupt must reach the driving loop, not be
+        # swallowed into a future nobody is checking yet.
+        with pytest.raises(KeyboardInterrupt):
+            SerialExecutor().submit(Cell((0,), "ex_interrupt", (0,)))
+
+
+# ---------------------------------------------------------------------------
+# LocalPoolExecutor (per-cell and chunked dispatch)
+# ---------------------------------------------------------------------------
+
+class TestLocalPool:
+    def test_chunked_matches_per_cell(self):
+        serial = run_cells(_cells(7), jobs=1)
+        for chunk in (1, 3, "auto"):
+            with executor_mod.LocalPoolExecutor(2, chunk=chunk) as ex:
+                assert run_cells(_cells(7), executor=ex) == serial
+
+    def test_error_in_chunk_hits_only_its_cell(self):
+        # One raising cell must surface its own exception without
+        # poisoning its chunk-mates.
+        with LocalPoolExecutor(2, chunk=3) as ex:
+            futures = ex.submit_many(_cells(7, worker="ex_boom"))
+            for i, fut in enumerate(futures):
+                if i == 3:
+                    assert isinstance(fut.exception(), ValueError)
+                else:
+                    assert fut.result() == {"v": float(i)}
+
+    def test_chunk_size_auto(self):
+        ex = LocalPoolExecutor(2, chunk="auto")
+        try:
+            # ceil(n / (jobs * 4)), floored at 1, capped at AUTO_CHUNK_MAX.
+            assert ex.chunk_size(4) == 1
+            assert ex.chunk_size(40) == 5
+            assert ex.chunk_size(600) == LocalPoolExecutor.AUTO_CHUNK_MAX
+        finally:
+            ex.shutdown()
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ConfigError, match="chunk must be"):
+            LocalPoolExecutor(2, chunk=0)
+
+    def test_pool_rebuilds_after_shutdown(self):
+        ex = LocalPoolExecutor(1)
+        try:
+            assert ex.submit(Cell((2,), "ex_square", (2,))).result() == {"v": 4.0}
+            ex.shutdown()
+            assert ex.submit(Cell((3,), "ex_square", (3,))).result() == {"v": 9.0}
+        finally:
+            ex.shutdown(kill=True)
+
+
+# ---------------------------------------------------------------------------
+# run_cells teardown on interrupt (the dangling-pool satellite fix)
+# ---------------------------------------------------------------------------
+
+class TestInterruptTeardown:
+    def test_keyboard_interrupt_tears_down_owned_pool(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUPERVISE", raising=False)
+        created = []
+
+        class Recording(LocalPoolExecutor):
+            def __init__(self, *a, **k):
+                super().__init__(*a, **k)
+                self.kills = []
+                created.append(self)
+
+            def shutdown(self, kill=False):
+                self.kills.append(kill)
+                super().shutdown(kill=kill)
+
+        monkeypatch.setattr(executor_mod, "LocalPoolExecutor", Recording)
+        with pytest.raises(KeyboardInterrupt):
+            run_cells(_cells(4, worker="ex_interrupt"), jobs=2)
+        [ex] = created
+        assert True in ex.kills, "owned pool must be shut down hard"
+        assert ex._pool is None, "no dangling ProcessPoolExecutor"
+
+    def test_explicit_executor_survives_interrupt(self, monkeypatch):
+        # A caller-owned backend is the caller's to shut down; run_cells
+        # must cancel its futures but leave the transport usable.
+        monkeypatch.delenv("REPRO_SUPERVISE", raising=False)
+        with LocalPoolExecutor(2) as ex:
+            with pytest.raises(KeyboardInterrupt):
+                run_cells(_cells(4, worker="ex_interrupt"), executor=ex)
+            assert run_cells(_cells(3), executor=ex) == run_cells(_cells(3))
+
+
+# ---------------------------------------------------------------------------
+# TransientExecutor
+# ---------------------------------------------------------------------------
+
+class _Flaky(executor_mod.CellExecutor):
+    """Fails each cell's first ``fail_first`` attempts with worker loss."""
+
+    kind = "flaky"
+
+    def __init__(self, fail_first=1):
+        self.fail_first = fail_first
+        self.attempts: dict[tuple, int] = {}
+        self.recycles = 0
+
+    def submit(self, cell):
+        fut: Future = Future()
+        fut.set_running_or_notify_cancel()
+        n = self.attempts.get(cell.key, 0)
+        self.attempts[cell.key] = n + 1
+        if n < self.fail_first:
+            fut.set_exception(WorkerLostError(f"lost during {cell.key}"))
+        else:
+            fut.set_result({"v": float(cell.args[0])})
+        return fut
+
+    def recycle(self, kill=False):
+        self.recycles += 1
+        return self
+
+
+class TestTransient:
+    def test_resubmits_after_worker_loss(self):
+        inner = _Flaky(fail_first=1)
+        ex = TransientExecutor(inner, respawns=2)
+        futures = ex.submit_many(_cells(3))
+        assert [f.result() for f in futures] == [{"v": float(i)} for i in range(3)]
+        assert ex.resubmitted == 3 and inner.recycles >= 1
+        assert "3 resubmitted after worker loss" in ex.banner()
+
+    def test_loss_past_the_bound_surfaces(self):
+        ex = TransientExecutor(_Flaky(fail_first=10), respawns=2)
+        fut = ex.submit(Cell((0,), "ex_square", (0,)))
+        assert isinstance(fut.exception(), WorkerLostError)
+        assert ex.resubmitted == 2  # the bound, not the demand
+
+    def test_rejects_negative_respawns(self):
+        with pytest.raises(ConfigError, match="respawns"):
+            TransientExecutor(_Flaky(), respawns=-1)
+
+    def test_real_pool_results_unchanged(self):
+        with TransientExecutor(LocalPoolExecutor(2)) as ex:
+            assert run_cells(_cells(5), executor=ex) == run_cells(_cells(5))
+
+
+# ---------------------------------------------------------------------------
+# Scope activation
+# ---------------------------------------------------------------------------
+
+class TestScope:
+    def test_scope_routes_run_cells(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUPERVISE", raising=False)
+        serial = run_cells(_cells(5), jobs=1)
+        assert active_executor() is None
+        with executor_scope("serial") as ex:
+            assert active_executor() is ex
+            assert run_cells(_cells(5), jobs=4) == serial
+        assert active_executor() is None
+        assert ex.dispatched == 5
+
+    def test_scope_hard_teardown_on_error(self):
+        created = []
+
+        class Recording(SerialExecutor):
+            def shutdown(self, kill=False):
+                created.append(kill)
+                super().shutdown(kill=kill)
+
+        with pytest.raises(RuntimeError):
+            with executor_scope(Recording()):
+                raise RuntimeError("body blew up")
+        assert created == [True]
+
+
+# ---------------------------------------------------------------------------
+# Spec grammar
+# ---------------------------------------------------------------------------
+
+class TestMakeExecutor:
+    def test_kinds(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor(""), SerialExecutor)
+        pool = make_executor("pool", jobs=3)
+        assert isinstance(pool, LocalPoolExecutor)
+        assert pool.jobs == 3 and pool.chunk == 1
+        assert make_executor("pool:chunk=8").chunk == 8
+        assert make_executor("pool:chunk=auto").chunk == "auto"
+        assert make_executor("chunked", jobs=2).chunk == "auto"
+        wrapped = make_executor("transient:pool:chunk=4", jobs=2)
+        assert isinstance(wrapped, TransientExecutor)
+        assert wrapped.inner.chunk == 4
+
+    def test_tcp_spec(self):
+        from repro.harness.netqueue import WorkQueueExecutor
+
+        ex = make_executor("tcp:127.0.0.1:0,spawn=0,lease=30")
+        try:
+            assert isinstance(ex, WorkQueueExecutor)
+            assert ex.port > 0  # ephemeral port resolved at bind
+            assert ex.lease_timeout == 30.0
+        finally:
+            ex.shutdown(kill=True)
+        # A bare port gets the loopback host.
+        ex = make_executor("tcp:0")
+        try:
+            assert ex.host == "127.0.0.1"
+        finally:
+            ex.shutdown(kill=True)
+
+    @pytest.mark.parametrize("spec", [
+        "bogus",
+        "pool:chunk=x",
+        "pool:frobnicate=1",
+        "tcp:nonsense",
+        "tcp:127.0.0.1:0,spawn=maybe",
+        "tcp:127.0.0.1:0,mystery=1",
+        "transient:",
+    ])
+    def test_bad_specs(self, spec):
+        with pytest.raises(ConfigError):
+            make_executor(spec)
+
+
+# ---------------------------------------------------------------------------
+# The dispatch-overhead microbenchmark (repro bench harness)
+# ---------------------------------------------------------------------------
+
+class TestHarnessBench:
+    def test_rows_reuse_engine_bench_shape(self):
+        from repro.perf.harnessbench import run_harness_bench
+
+        rows = run_harness_bench(cells=40, jobs=2, modes=["serial", "chunked"])
+        assert sorted(rows) == ["harness-chunked", "harness-serial"]
+        for row in rows.values():
+            assert row["events"] == 40 and row["events_per_sec"] > 0
+
+    def test_speedup_recorded_and_checked(self):
+        from repro.perf.harnessbench import check_speedup, run_harness_bench
+
+        rows = {"harness-pool": {"events_per_sec": 100.0},
+                "harness-chunked": {"events_per_sec": 500.0}}
+        assert check_speedup(rows) == []
+        rows["harness-chunked"]["events_per_sec"] = 110.0
+        [message] = check_speedup(rows)
+        assert "below the 1.3x floor" in message
+        # And the live path records the measured ratio on the row.
+        live = run_harness_bench(cells=60, jobs=2, modes=["pool", "chunked"])
+        assert live["harness-chunked"]["speedup_vs_pool"] == pytest.approx(
+            live["harness-chunked"]["events_per_sec"]
+            / live["harness-pool"]["events_per_sec"]
+        )
+
+    def test_rejects_unknown_mode(self):
+        from repro.perf.harnessbench import run_harness_bench, run_mode
+
+        with pytest.raises(ConfigError, match="unknown harness bench mode"):
+            run_harness_bench(cells=4, modes=["warp"])
+        with pytest.raises(ConfigError, match="unknown harness bench mode"):
+            run_mode("warp", 4, 1)
+
+    def test_cli_writes_and_gates(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_harness.json"
+        assert main(["bench", "harness", "--cells", "40",
+                     "--modes", "serial", "--out", str(out)]) == 0
+        baseline = json.loads(out.read_text())
+        assert "harness-serial" in baseline
+        capsys.readouterr()
+        # Same machine, generous tolerance: the gate passes against the
+        # row we just wrote.
+        assert main(["bench", "harness", "--cells", "40",
+                     "--modes", "serial", "--out", "",
+                     "--check", str(out), "--tolerance", "0.95"]) == 0
+        assert "[ok]" in capsys.readouterr().err

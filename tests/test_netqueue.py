@@ -1,0 +1,340 @@
+"""Tests for the TCP work-queue backend (repro.harness.netqueue).
+
+Exercises both sides of the wire: framing, error transport, the
+coordinator's lease/re-queue machinery against in-process fake workers
+(so worker death is deterministic and instant), the worker loop against
+a fake coordinator, and one end-to-end sweep through real spawned
+``repro worker`` subprocesses.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError, RemoteCellError, ReproError
+from repro.harness.executor import WorkerLostError, make_executor
+from repro.harness.journal import encode_value
+from repro.harness.netqueue import (
+    PROTOCOL_VERSION,
+    RemoteWorkerFailure,
+    WorkQueueExecutor,
+    _decode_error,
+    _encode_error,
+    recv_frame,
+    run_worker,
+    send_frame,
+)
+from repro.harness.parallel import Cell, _execute, cell_worker
+
+
+@cell_worker("nq_echo")
+def _nq_echo(x):
+    return {"v": float(x), "curve": {1: x / 2}, "key": (x,)}
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"op": "cell", "id": 7, "args": [1.5, "x", [2, 3]]}
+            send_frame(a, payload)
+            assert recv_frame(b) == payload
+        finally:
+            a.close(); b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_close_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00\x00\x10partial")
+            a.close()
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\xff\xff\xff\xff")
+            with pytest.raises(ConnectionError, match="oversized"):
+                recv_frame(b)
+        finally:
+            a.close(); b.close()
+
+
+# ---------------------------------------------------------------------------
+# Error transport
+# ---------------------------------------------------------------------------
+
+class TestErrorTransport:
+    def test_config_error_survives_as_config_error(self):
+        # A remote ConfigError is fatal locally too — the supervisor
+        # must not retry a misconfigured cell on another worker.
+        back = _decode_error(_encode_error(ConfigError("bad cell")))
+        assert isinstance(back, ConfigError) and "bad cell" in str(back)
+
+    def test_repro_error_is_deterministic_remote_failure(self):
+        back = _decode_error(_encode_error(ReproError("model blew up")))
+        assert isinstance(back, RemoteCellError)
+        assert isinstance(back, ReproError)  # no-retry classification
+        assert "model blew up" in str(back)
+
+    def test_generic_exception_is_retryable(self):
+        back = _decode_error(_encode_error(ValueError("flaky thing")))
+        assert isinstance(back, RemoteWorkerFailure)
+        assert not isinstance(back, ReproError)  # supervisor may retry
+        assert "ValueError" in str(back) and "flaky thing" in str(back)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator vs in-process fake workers
+# ---------------------------------------------------------------------------
+
+class FakeWorker:
+    """A protocol-speaking worker the test controls frame by frame."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+        send_frame(self.sock, {"op": "hello", "pid": 0, "host": "fake"})
+        welcome = recv_frame(self.sock)
+        assert welcome and welcome["op"] == "welcome"
+        assert welcome["version"] == PROTOCOL_VERSION
+        send_frame(self.sock, {"op": "ready"})
+
+    def next_cell(self, timeout=15.0):
+        self.sock.settimeout(timeout)
+        frame = recv_frame(self.sock)
+        assert frame and frame["op"] == "cell"
+        return frame
+
+    def reply(self, cell_id, value):
+        send_frame(self.sock, {"op": "result", "id": cell_id, "ok": True,
+                               "value": encode_value(value)})
+
+    def fail(self, cell_id, exc):
+        send_frame(self.sock, {"op": "result", "id": cell_id, "ok": False,
+                               "error": _encode_error(exc)})
+
+    def die(self):
+        self.sock.close()
+
+
+@pytest.fixture
+def queue():
+    ex = WorkQueueExecutor(spawn=0)
+    yield ex
+    ex.shutdown(kill=True)
+
+
+class TestCoordinator:
+    def test_typed_values_round_trip(self, queue):
+        worker = FakeWorker(queue.port)
+        fut = queue.submit(Cell((4,), "nq_echo", (4,)))
+        frame = worker.next_cell()
+        assert frame["worker"] == "nq_echo"
+        worker.reply(frame["id"], _execute(Cell((4,), "nq_echo", (4,))))
+        value = fut.result(timeout=15)
+        # Journal typed encoding carries exact types across the wire.
+        assert value == {"v": 4.0, "curve": {1: 2.0}, "key": (4,)}
+        assert isinstance(value["key"], tuple)
+        assert all(isinstance(k, int) for k in value["curve"])
+
+    def test_dead_worker_lease_requeues(self, queue):
+        first = FakeWorker(queue.port)
+        fut = queue.submit(Cell((5,), "nq_echo", (5,)))
+        frame = first.next_cell()
+        first.die()  # vanishes mid-cell, result never sent
+        second = FakeWorker(queue.port)
+        again = second.next_cell()
+        assert again["worker"] == frame["worker"]
+        second.reply(again["id"], {"v": 5.0})
+        assert fut.result(timeout=15) == {"v": 5.0}
+        assert queue.requeued == 1
+        assert "1 lease(s) re-queued" in queue.banner()
+
+    def test_silent_worker_lease_expires(self):
+        ex = WorkQueueExecutor(spawn=0, lease_timeout=1.0)
+        try:
+            stalled = FakeWorker(ex.port)
+            fut = ex.submit(Cell((6,), "nq_echo", (6,)))
+            stalled.next_cell()  # lease it, then never reply or heartbeat
+            rescuer = FakeWorker(ex.port)
+            frame = rescuer.next_cell(timeout=30.0)
+            rescuer.reply(frame["id"], {"v": 6.0})
+            assert fut.result(timeout=15) == {"v": 6.0}
+            assert ex.requeued == 1
+        finally:
+            ex.shutdown(kill=True)
+
+    def test_remote_errors_reach_the_future(self, queue):
+        worker = FakeWorker(queue.port)
+        fut = queue.submit(Cell((7,), "nq_echo", (7,)))
+        frame = worker.next_cell()
+        worker.fail(frame["id"], ValueError("remote boom"))
+        exc = fut.exception(timeout=15)
+        assert isinstance(exc, RemoteWorkerFailure)
+        assert "remote boom" in str(exc)
+
+    def test_shutdown_fails_pending_and_refuses_submits(self, queue):
+        fut = queue.submit(Cell((8,), "nq_echo", (8,)))  # no worker attached
+        queue.shutdown()
+        assert isinstance(fut.exception(timeout=15), WorkerLostError)
+        with pytest.raises(RuntimeError, match="shut-down"):
+            queue.submit(Cell((9,), "nq_echo", (9,)))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError, match="spawn"):
+            WorkQueueExecutor(spawn=-1)
+        with pytest.raises(ConfigError, match="lease_timeout"):
+            WorkQueueExecutor(lease_timeout=0)
+
+
+# ---------------------------------------------------------------------------
+# Worker loop vs a fake coordinator
+# ---------------------------------------------------------------------------
+
+class FakeCoordinator:
+    def __init__(self, version=PROTOCOL_VERSION):
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(1)
+        self.port = self.listener.getsockname()[1]
+        self.version = version
+        self.sock = None
+
+    def accept(self):
+        self.sock, _ = self.listener.accept()
+        self.sock.settimeout(15.0)
+        hello = recv_frame(self.sock)
+        assert hello and hello["op"] == "hello"
+        send_frame(self.sock, {"op": "welcome", "version": self.version})
+        ready = self._next(("ready",))
+        assert ready["op"] == "ready"
+
+    def _next(self, ops):
+        while True:
+            frame = recv_frame(self.sock)
+            assert frame is not None
+            if frame["op"] in ops:
+                return frame
+
+    def close(self):
+        if self.sock is not None:
+            self.sock.close()
+        self.listener.close()
+
+
+@pytest.fixture
+def not_a_pool_worker():
+    """run_worker marks the process as a pool worker; undo after."""
+    from repro.harness import parallel
+
+    yield
+    parallel._IS_POOL_WORKER = False
+
+
+class TestWorkerLoop:
+    def test_serves_cells_until_bye(self, not_a_pool_worker):
+        coord = FakeCoordinator()
+        rc = []
+        t = threading.Thread(
+            target=lambda: rc.append(run_worker("127.0.0.1", coord.port))
+        )
+        t.start()
+        try:
+            coord.accept()
+            send_frame(coord.sock, {"op": "cell", "id": 0, "worker": "nq_echo",
+                                    "args": encode_value([3])})
+            result = coord._next(("result",))
+            assert result["ok"] and result["id"] == 0
+            # Unknown worker comes back as a structured config error.
+            send_frame(coord.sock, {"op": "cell", "id": 1,
+                                    "worker": "no_such_worker",
+                                    "args": encode_value([])})
+            error = coord._next(("result",))
+            assert not error["ok"] and error["error"]["config"]
+            send_frame(coord.sock, {"op": "bye"})
+            t.join(timeout=15)
+            assert rc == [0]
+        finally:
+            coord.close()
+            t.join(timeout=15)
+
+    def test_version_mismatch_refused(self, not_a_pool_worker):
+        coord = FakeCoordinator(version=PROTOCOL_VERSION + 1)
+        errors = []
+
+        def _run():
+            try:
+                run_worker("127.0.0.1", coord.port)
+            except ConfigError as exc:
+                errors.append(str(exc))
+
+        t = threading.Thread(target=_run)
+        t.start()
+        try:
+            coord.sock, _ = coord.listener.accept()
+            coord.sock.settimeout(15.0)
+            assert recv_frame(coord.sock)["op"] == "hello"
+            send_frame(coord.sock, {"op": "welcome", "version": coord.version})
+            t.join(timeout=15)
+            assert errors and "protocol" in errors[0]
+        finally:
+            coord.close()
+            t.join(timeout=15)
+
+    def test_refused_connection_is_config_error(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here now
+        with pytest.raises(ConfigError, match="cannot connect"):
+            run_worker("127.0.0.1", port)
+
+    def test_cli_rejects_bad_connect(self, capsys):
+        assert main(["worker", "--connect", "no-port-here"]) == 1
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# End to end through real spawned workers
+# ---------------------------------------------------------------------------
+
+class TestSpawnedWorkers:
+    def test_sweep_matches_inline(self):
+        cells = [Cell((i,), "bench_cell", (i, 8)) for i in range(12)]
+        expected = {c.key: _execute(c) for c in cells}
+        with make_executor("tcp:127.0.0.1:0,spawn=2") as ex:
+            futures = ex.submit_many(cells)
+            got = {c.key: f.result(timeout=120) for c, f in zip(cells, futures)}
+            assert ex.workers_seen >= 1
+        assert got == expected
+
+    def test_all_spawned_workers_dead_fails_fast(self, monkeypatch, tmp_path):
+        # One spawned worker, chaos-killed mid-cell: with the whole
+        # fleet gone the queue must fail pending cells, not hang.
+        monkeypatch.setenv("REPRO_CHAOS_KILL", str(tmp_path / "chaos.marker"))
+        ex = WorkQueueExecutor(spawn=1)
+        try:
+            fut = ex.submit(Cell((0,), "bench_cell", (0, 8)))
+            exc = fut.exception(timeout=120)
+            assert isinstance(exc, WorkerLostError)
+            assert "no workers left" in str(exc)
+        finally:
+            ex.shutdown(kill=True)

@@ -42,6 +42,24 @@ def test_run_cells_rejects_duplicate_keys():
         run_cells(cells)
 
 
+def test_duplicate_key_error_names_the_offenders():
+    # Satellite fix: the error must say *which* keys collided, sorted
+    # for a stable message.
+    cells = [Cell((k,), "test_echo") for k in (5, 1, 5, 3, 1)]
+    with pytest.raises(ConfigError, match=r"\(2 distinct\)") as err:
+        run_cells(cells)
+    assert "(1,), (5,)" in str(err.value)
+
+
+def test_duplicate_key_error_caps_at_ten():
+    cells = [Cell((k,), "test_echo") for k in range(12) for _ in (0, 1)]
+    with pytest.raises(ConfigError, match=r"\(12 distinct\)") as err:
+        run_cells(cells)
+    message = str(err.value)
+    assert message.count("(") <= 14  # 10 keys + counts, not all 12
+    assert "... (2 more)" in message
+
+
 def test_run_cells_rejects_unknown_worker():
     with pytest.raises(ConfigError, match="unknown cell worker"):
         run_cells([Cell((1,), "no_such_worker")])
