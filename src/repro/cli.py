@@ -19,8 +19,10 @@ Commands
     the supervised harness (watchdog, bounded retries, degrade),
     ``--journal PATH`` appends completed cells to a crash-safe JSONL
     journal and ``--resume PATH`` skips cells already journaled there,
-    ``--store PATH`` serves/publishes cells through the content-addressed
-    global cell store (also via ``REPRO_STORE``; see ``docs/caching.md``),
+    ``--store PATH|tcp://HOST:PORT`` serves/publishes cells through the
+    content-addressed global cell store — a local directory or a
+    ``repro store serve`` server (also via ``REPRO_STORE``; see
+    ``docs/caching.md`` and ``docs/resilience.md``),
     ``--json``/``--csv``/``--out`` export results.
 
 Exit codes
@@ -41,10 +43,13 @@ Exit codes
     interval (see ``docs/resilience.md``).
 ``store <op> <path>``
     Maintain a content-addressed cell store (``docs/caching.md``):
-    ``stats`` tallies records/shards/workers, ``verify`` re-derives
-    every record's key and payload hash (exit 1 on integrity problems),
-    ``gc`` compacts stale/duplicate/malformed records, ``export`` and
-    ``import`` move records between hosts as a single JSONL file.
+    ``stats`` tallies records/shards/workers (also for ``tcp://``
+    endpoints), ``verify`` re-derives every record's key and payload
+    hash (exit 1 on integrity problems), ``gc`` compacts
+    stale/duplicate/malformed records, ``export`` and ``import`` stream
+    records between hosts as a single JSONL file in bounded memory,
+    ``serve`` exposes a root over TCP for ``--store tcp://HOST:PORT``
+    fleets and ``ping`` probes such a server (``docs/resilience.md``).
 ``lint [paths...]``
     Static determinism linter over ``src``/``benchmarks`` (or the given
     paths); exits 1 when findings remain (see ``docs/analysis.md``).
@@ -57,8 +62,13 @@ Exit codes
     result-cache code-identity key.
 ``worker --connect HOST:PORT``
     Join a distributed sweep as a TCP cell worker: connect to the
-    coordinator of a ``--backend tcp:...`` run and execute leased
-    cells until told to stop (see ``docs/distributed.md``).
+    coordinator of a ``--backend tcp:...`` run (retrying the initial
+    connection with bounded backoff) and execute leased cells until
+    told to stop (see ``docs/distributed.md``).
+``chaos proxy LISTEN UPSTREAM``
+    Forward TCP traffic while mangling it on a seeded schedule
+    (drop/delay/truncate/sever) — the harness for exercising the
+    resilience layer's failure matrix (``docs/resilience.md``).
 ``bench harness``
     Executor dispatch-overhead microbenchmark (cells/sec for serial,
     pool, chunked and loopback-TCP backends); writes
@@ -306,16 +316,67 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 def _cmd_store(args: argparse.Namespace) -> int:
     import json
 
+    from repro.errors import ConfigError
     from repro.harness.cellstore import CellStore
 
-    store = CellStore(args.path)
+    remote = args.path.startswith("tcp://")
+    if args.store_command == "serve":
+        from repro.harness.netstore import parse_endpoint, serve
+
+        host, port = parse_endpoint(args.bind)
+        return serve(
+            args.path, host, port,
+            lease_ttl=args.lease_ttl, max_requests=args.max_requests,
+        )
+    if args.store_command == "ping":
+        from repro.errors import UnavailableError
+        from repro.harness.netstore import RemoteCellStore
+
+        client = RemoteCellStore(args.path)
+        try:
+            pong = client.ping()
+        except UnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            client.close()
+        print(
+            f"[pong] {args.path} protocol={pong.get('version')} "
+            f"root={pong.get('root')}"
+        )
+        return 0
+    if remote and args.store_command != "stats":
+        raise ConfigError(
+            f"store {args.store_command} needs a local store root, not "
+            f"{args.path!r} (run it on the serving host)"
+        )
     if args.store_command == "stats":
-        stats = store.stats()
+        if remote:
+            from repro.harness.netstore import RemoteCellStore
+
+            client = RemoteCellStore(args.path)
+            try:
+                tallies = client.remote_stats()
+            finally:
+                client.close()
+            if args.json:
+                print(json.dumps(tallies, indent=2))
+            else:
+                from repro.harness.cellstore import StoreStats
+
+                stats = StoreStats(**{
+                    k: v for k, v in tallies.items()
+                    if k in StoreStats.__dataclass_fields__
+                })
+                print(stats.render())
+            return 0
+        stats = CellStore(args.path).stats()
         if args.json:
             print(json.dumps(stats.to_dict(), indent=2))
         else:
             print(stats.render())
         return 0
+    store = CellStore(args.path)
     if args.store_command == "verify":
         report = store.verify()
         print(report.render())
@@ -409,7 +470,21 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         port_n = int(port)
     except ValueError:
         raise ConfigError(f"bad port in --connect: {port!r}") from None
-    return run_worker(host, port_n, heartbeat=args.heartbeat)
+    return run_worker(
+        host, port_n,
+        heartbeat=args.heartbeat,
+        connect_retries=args.connect_retries,
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.netchaos import run_proxy
+
+    if args.chaos_command == "proxy":
+        return run_proxy(
+            args.listen, args.upstream, spec=args.spec, seed=args.seed
+        )
+    raise AssertionError(f"unhandled chaos subcommand {args.chaos_command!r}")
 
 
 def _cmd_npb(args: argparse.Namespace) -> int:
@@ -459,12 +534,15 @@ def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
              "--supervise)",
     )
     parser.add_argument(
-        "--store", default=None, metavar="PATH",
+        "--store", default=None, metavar="PATH|tcp://HOST:PORT",
         help="serve sweep cells from (and publish fresh results to) the "
-             "content-addressed cell store rooted at PATH, shared across "
-             "runs and hosts; entries are keyed by worker + args + code "
-             "fingerprint so they can never go stale (also via "
-             "REPRO_STORE; see docs/caching.md)",
+             "content-addressed cell store — a directory rooted at PATH "
+             "or a `repro store serve` server at tcp://HOST:PORT; "
+             "entries are keyed by worker + args + code fingerprint so "
+             "they can never go stale; a networked store that goes down "
+             "degrades gracefully (results spool locally and drain on "
+             "reconnect) (also via REPRO_STORE; see docs/caching.md and "
+             "docs/resilience.md)",
     )
     parser.add_argument(
         "--backend", default=None, metavar="SPEC",
@@ -680,6 +758,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     st_import.add_argument("path", help="store root directory")
     st_import.add_argument("file", help="exported JSONL file to merge")
+    st_serve = store_sub.add_parser(
+        "serve",
+        help="serve a store root over TCP so fleets share results "
+             "without a shared filesystem (clients use "
+             "--store tcp://HOST:PORT)",
+    )
+    st_serve.add_argument("path", help="store root directory to serve")
+    st_serve.add_argument(
+        "bind", metavar="HOST:PORT",
+        help="address to listen on (PORT 0 binds an ephemeral port)",
+    )
+    st_serve.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="S",
+        help="seconds before an unrefreshed lease is presumed orphaned "
+             "(default: REPRO_STORE_LEASE_TTL or 600)",
+    )
+    st_serve.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="exit after handling N frames — a deterministic mid-sweep "
+             "crash for chaos testing (clients degrade to their spool)",
+    )
+    st_ping = store_sub.add_parser(
+        "ping",
+        help="round-trip a tcp:// store server (readiness probe; the "
+             "attempt is retried under the default backoff policy)",
+    )
+    st_ping.add_argument("path", metavar="tcp://HOST:PORT",
+                         help="store server endpoint")
 
     bench = sub.add_parser("bench", help="performance microbenchmarks")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
@@ -765,6 +871,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--heartbeat", type=float, default=2.0, metavar="S",
         help="liveness heartbeat interval in seconds (default 2)",
     )
+    worker.add_argument(
+        "--connect-retries", type=int, default=5, metavar="N",
+        help="initial-connection retries with bounded backoff, absorbing "
+             "the coordinator/worker startup race (default 5; 0 = fail "
+             "immediately on connection-refused)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="network chaos tools for exercising the resilience layer",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    ch_proxy = chaos_sub.add_parser(
+        "proxy",
+        help="forward LISTEN to UPSTREAM, mangling traffic on a seeded "
+             "schedule (drop/delay/truncate/sever per chunk)",
+    )
+    ch_proxy.add_argument("listen", metavar="HOST:PORT",
+                          help="address to listen on (PORT 0 = ephemeral)")
+    ch_proxy.add_argument("upstream", metavar="HOST:PORT",
+                          help="address to forward to")
+    ch_proxy.add_argument(
+        "--spec", default="", metavar="RULES",
+        help="chaos rules, e.g. 'drop:p=0.05;delay:p=0.2,ms=50;"
+             "truncate:p=0.02;sever:p=0.01' (default: pass everything)",
+    )
+    ch_proxy.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the per-connection mangling schedule (default 0)",
+    )
 
     osu = sub.add_parser("osu", help="run OSU latency/bandwidth on a platform")
     osu.add_argument("platform", choices=["vayu", "dcc", "ec2"])
@@ -798,6 +934,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
     "bench": _cmd_bench,
     "store": _cmd_store,
     "worker": _cmd_worker,
+    "chaos": _cmd_chaos,
 }
 
 

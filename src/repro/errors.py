@@ -188,6 +188,38 @@ class RemoteCellError(ReproError):
         super().__init__(message)
 
 
+class UnavailableError(ReproError):
+    """A networked endpoint could not be reached within the resilience bounds.
+
+    Raised by :func:`repro.harness.resilience.retry_call` when every
+    deadline-bounded attempt against an endpoint failed (connection
+    refused, reset, timed out).  Callers that can degrade gracefully —
+    the remote cell-store client above all — catch this family, flip
+    into offline mode and keep the sweep running; callers that cannot
+    let it surface as a fatal error.
+    """
+
+
+class CircuitOpenError(UnavailableError):
+    """A call was refused because the endpoint's circuit breaker is open.
+
+    No network I/O was attempted: the breaker has seen too many
+    consecutive failures and is absorbing calls until its cooldown
+    elapses (see :class:`repro.harness.resilience.CircuitBreaker`).
+    Semantically the endpoint is just as unavailable as a refused
+    connection, hence the parentage.
+    """
+
+
+class StoreUnavailableError(UnavailableError):
+    """The remote cell store is unreachable (degraded mode engaged).
+
+    Internal to :mod:`repro.harness.netstore`: the client converts it
+    into graceful degradation (serve misses, spool publishes) rather
+    than letting it abort a sweep, so user code normally never sees it.
+    """
+
+
 class ConfigError(ReproError):
     """Invalid platform, benchmark or experiment configuration."""
 

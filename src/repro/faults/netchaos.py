@@ -1,0 +1,292 @@
+"""Network chaos proxy: seeded frame mangling between TCP endpoints.
+
+The wire-level counterpart of :mod:`repro.faults.schedule`: where fault
+schedules perturb the *simulated* platform, the chaos proxy perturbs
+the repo's own real transport — the networked cell store
+(:mod:`repro.harness.netstore`) and the TCP work queue — so the
+resilience layer's failure matrix is exercisable on demand and in CI.
+
+``repro chaos proxy LISTEN UPSTREAM --spec ... --seed N`` listens on
+one address and forwards byte streams to another, making a seeded
+decision per chunk in each direction:
+
+``pass``
+    Forward the chunk unchanged (the default when no rule fires).
+``drop``
+    Swallow the chunk.  Because framing is length-prefixed, a dropped
+    chunk desynchronizes the stream — the victim's *deadline-bounded*
+    reads are what turn this into a bounded failure instead of a hang.
+``delay``
+    Sleep ``ms`` milliseconds, then forward (latency spike).
+``truncate``
+    Forward only the first half of the chunk, then sever both
+    directions (a torn frame followed by a dead peer).
+``sever``
+    Close both directions immediately (partition / peer crash).
+
+Every decision comes from a :class:`random.Random` seeded per
+connection from ``sha256(seed, connection-index)`` — two runs of the
+same chaos schedule mangle the same chunks the same way, which is the
+repo-wide determinism discipline applied to misfortune.
+
+Spec grammar (probabilities per chunk, rules checked in the order
+listed)::
+
+    drop:p=0.05;delay:p=0.2,ms=50;truncate:p=0.02;sever:p=0.01
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import random
+import socket
+import threading
+import time
+import typing as _t
+
+from repro.errors import ConfigError
+
+#: Bytes per forwarding read — small enough that multi-frame bursts
+#: span several chaos decisions.
+CHUNK = 4096
+
+#: Recognised rule names, in evaluation order.
+RULES = ("drop", "delay", "truncate", "sever")
+
+
+def parse_chaos_spec(text: str) -> dict[str, dict[str, float]]:
+    """Parse a chaos spec string into ``{rule: {param: value}}``.
+
+    Unknown rules, unknown parameters, and probabilities outside
+    ``[0, 1]`` are configuration errors — a typo must never silently
+    run a chaos-free "chaos" test.
+    """
+    rules: dict[str, dict[str, float]] = {}
+    for part in (text or "").split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        name, _sep, params_text = part.partition(":")
+        name = name.strip()
+        if name not in RULES:
+            raise ConfigError(
+                f"unknown chaos rule {name!r} (expected one of {RULES})"
+            )
+        params: dict[str, float] = {"p": 1.0}
+        for item in params_text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value_text = item.partition("=")
+            key = key.strip()
+            if not sep or key not in ("p", "ms"):
+                raise ConfigError(f"bad chaos parameter {item!r} in {part!r}")
+            try:
+                params[key] = float(value_text)
+            except ValueError:
+                raise ConfigError(
+                    f"bad chaos parameter value {item!r} in {part!r}"
+                ) from None
+        if not 0.0 <= params["p"] <= 1.0:
+            raise ConfigError(f"chaos probability out of [0, 1]: {part!r}")
+        if params.get("ms", 0.0) < 0.0:
+            raise ConfigError(f"chaos delay must be >= 0: {part!r}")
+        rules[name] = params
+    return rules
+
+
+class ChaosProxy:
+    """A TCP forwarder that mangles traffic on a seeded schedule.
+
+    One proxy instance serves many connections; connection *i* draws
+    its decisions from ``random.Random(sha256(seed, i))``, so the
+    mangling schedule is a pure function of ``(seed, arrival order)``.
+    ``port=0`` binds an ephemeral listen port (``.port`` has it).
+    """
+
+    def __init__(
+        self,
+        listen_host: str,
+        listen_port: int,
+        upstream_host: str,
+        upstream_port: int,
+        *,
+        spec: str | dict[str, dict[str, float]] = "",
+        seed: int = 0,
+    ) -> None:
+        self.rules = (
+            parse_chaos_spec(spec) if isinstance(spec, str) else dict(spec)
+        )
+        self.seed = seed
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.connections = 0
+        self.dropped = 0
+        self.delayed = 0
+        self.truncated = 0
+        self.severed = 0
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((listen_host or "127.0.0.1", listen_port))
+        self._listener.listen(128)
+        self.host = listen_host or "127.0.0.1"
+        self.port = self._listener.getsockname()[1]
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> "ChaosProxy":
+        """Serve in a daemon thread (the in-process test harness path)."""
+        threading.Thread(target=self.serve_forever, daemon=True).start()
+        return self
+
+    def serve_forever(self) -> None:
+        while True:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: stopping
+            with self._lock:
+                if self._stopping:
+                    with contextlib.suppress(OSError):
+                        client.close()
+                    return
+                index = self.connections
+                self.connections += 1
+            threading.Thread(
+                target=self._serve_conn, args=(client, index), daemon=True
+            ).start()
+
+    def stop(self) -> None:
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        with contextlib.suppress(OSError):
+            self._listener.close()
+
+    # -- per-connection ---------------------------------------------------
+    def _rng(self, index: int) -> random.Random:
+        blob = f"{self.seed}:{index}".encode("utf-8")
+        return random.Random(int.from_bytes(hashlib.sha256(blob).digest()[:8], "big"))
+
+    def _serve_conn(self, client: socket.socket, index: int) -> None:
+        try:
+            upstream = socket.create_connection(
+                (self.upstream_host, self.upstream_port), timeout=10.0
+            )
+        except OSError:
+            with contextlib.suppress(OSError):
+                client.close()
+            return
+        upstream.settimeout(None)
+        rng = self._rng(index)
+        rng_lock = threading.Lock()  # both pump directions share one stream
+        dead = threading.Event()
+
+        def _sever() -> None:
+            dead.set()
+            for sock in (client, upstream):
+                with contextlib.suppress(OSError):
+                    sock.shutdown(socket.SHUT_RDWR)
+                with contextlib.suppress(OSError):
+                    sock.close()
+
+        def _pump(src: socket.socket, dst: socket.socket) -> None:
+            try:
+                while not dead.is_set():
+                    chunk = src.recv(CHUNK)
+                    if not chunk:
+                        break
+                    with rng_lock:
+                        action, delay_s = self._decide(rng)
+                    if action == "drop":
+                        with self._lock:
+                            self.dropped += 1
+                        continue
+                    if action == "delay":
+                        with self._lock:
+                            self.delayed += 1
+                        time.sleep(delay_s)
+                    elif action == "truncate":
+                        with self._lock:
+                            self.truncated += 1
+                        with contextlib.suppress(OSError):
+                            dst.sendall(chunk[: max(1, len(chunk) // 2)])
+                        _sever()
+                        return
+                    elif action == "sever":
+                        with self._lock:
+                            self.severed += 1
+                        _sever()
+                        return
+                    dst.sendall(chunk)
+            except OSError:
+                pass
+            finally:
+                _sever()
+
+        threads = [
+            threading.Thread(target=_pump, args=(client, upstream), daemon=True),
+            threading.Thread(target=_pump, args=(upstream, client), daemon=True),
+        ]
+        for t in threads:
+            t.start()
+
+    def _decide(self, rng: random.Random) -> tuple[str, float]:
+        """The (action, delay-seconds) for one chunk."""
+        for name in RULES:
+            params = self.rules.get(name)
+            if params is None:
+                continue
+            if rng.random() < params["p"]:
+                return name, params.get("ms", 0.0) / 1000.0
+        return "pass", 0.0
+
+    def describe(self) -> str:
+        spec = ";".join(
+            name
+            + ":"
+            + ",".join(f"{k}={v:g}" for k, v in sorted(self.rules[name].items()))
+            for name in RULES
+            if name in self.rules
+        )
+        return (
+            f"chaos({self.host}:{self.port} -> "
+            f"{self.upstream_host}:{self.upstream_port}, seed={self.seed}, "
+            f"spec={spec or 'pass'})"
+        )
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "connections": self.connections,
+                "dropped": self.dropped,
+                "delayed": self.delayed,
+                "truncated": self.truncated,
+                "severed": self.severed,
+            }
+
+
+def run_proxy(
+    listen: str, upstream: str, *, spec: str = "", seed: int = 0
+) -> int:
+    """Run ``repro chaos proxy`` in the foreground; the process exit code."""
+    import sys
+
+    from repro.harness.netstore import parse_endpoint
+
+    lhost, lport = parse_endpoint(listen)
+    uhost, uport = parse_endpoint(upstream)
+    proxy = ChaosProxy(lhost, lport, uhost, uport, spec=spec, seed=seed)
+    print(f"[chaos] {proxy.describe()}", file=sys.stderr, flush=True)
+    try:
+        proxy.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        proxy.stop()
+    tallies = ", ".join(f"{k}={v}" for k, v in proxy.counters().items())
+    print(f"[chaos] stopped: {tallies}", file=sys.stderr, flush=True)
+    return 0

@@ -160,6 +160,30 @@ def record_problem(rec: _t.Any) -> str | None:
     return None
 
 
+def build_record(
+    worker: str, args: _t.Sequence[_t.Any], result: _t.Any
+) -> dict | None:
+    """The store record for one fresh result; None for uncacheable workers.
+
+    One construction site for every publisher — the local store, the
+    offline spool and the networked client all emit byte-identical
+    record lines for the same result, which is what lets a spooled
+    record drain to a server verbatim.
+    """
+    code = _worker_code(worker)
+    if code is None:
+        return None
+    return {
+        "v": STORE_VERSION,
+        "k": store_key(worker, args, code),
+        "worker": worker,
+        "args": encode_value(tuple(args)),
+        "code": code,
+        "hash": payload_hash(worker, args),
+        "result": encode_value(result),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Reports
 # ---------------------------------------------------------------------------
@@ -353,18 +377,17 @@ class CellStore:
             yield lineno, line, rec
 
     # -- the hot path -----------------------------------------------------
-    def _find(self, worker: str, args: _t.Sequence[_t.Any]) -> _t.Any:
-        """Uncounted lookup — :data:`MISS` or the stored result.
+    def find_by_address(
+        self, key: str, worker: str, code: str, digest: str
+    ) -> _t.Any:
+        """Uncounted lookup by full content address — :data:`MISS` or the result.
 
-        The counter-free primitive behind :meth:`lookup` and the peer
-        polling loop (:meth:`await_peer` re-reads a shard many times for
-        one logical lookup; counting each poll would garble the banner).
+        The primitive the networked store server
+        (:mod:`repro.harness.netstore`) serves directly: the client
+        derives ``key``/``code``/``digest`` from code it can see, and a
+        hit requires every component to match, so a server that cannot
+        fingerprint the worker itself still never serves a stale entry.
         """
-        code = _worker_code(worker)
-        if code is None:
-            return MISS
-        key = store_key(worker, args, code)
-        digest = payload_hash(worker, args)
         found: _t.Any = MISS
         for _lineno, _line, rec in self._scan_shard(self.shard_path(key)):
             if (
@@ -377,6 +400,21 @@ class CellStore:
             ):
                 found = decode_value(rec["result"])  # last record wins
         return found
+
+    def _find(self, worker: str, args: _t.Sequence[_t.Any]) -> _t.Any:
+        """Uncounted lookup — :data:`MISS` or the stored result.
+
+        The counter-free primitive behind :meth:`lookup` and the peer
+        polling loop (:meth:`await_peer` re-reads a shard many times for
+        one logical lookup; counting each poll would garble the banner).
+        """
+        code = _worker_code(worker)
+        if code is None:
+            return MISS
+        key = store_key(worker, args, code)
+        return self.find_by_address(
+            key, worker, code, payload_hash(worker, args)
+        )
 
     def lookup(self, worker: str, args: _t.Sequence[_t.Any]) -> _t.Any:
         """The stored result for ``(worker, args)``, or :data:`MISS`.
@@ -394,30 +432,13 @@ class CellStore:
             self.hits += 1
         return found
 
-    def publish(
-        self, worker: str, args: _t.Sequence[_t.Any], result: _t.Any
-    ) -> bool:
-        """Append one result record; False when the worker is uncacheable.
+    def _append_record_line(self, key: str, line: str) -> None:
+        """Append one complete record line to ``key``'s shard, fsynced.
 
-        The append is a single ``O_APPEND`` write of one complete line,
-        fsynced before the descriptor closes, so concurrent publishers
-        (other processes, other hosts on a shared filesystem) interleave
-        whole records.
+        The single ``O_APPEND`` write is the store's whole concurrency
+        story: publishers in other processes (or other hosts on a
+        shared filesystem) interleave whole records, never bytes.
         """
-        code = _worker_code(worker)
-        if code is None:
-            return False
-        key = store_key(worker, args, code)
-        record = {
-            "v": STORE_VERSION,
-            "k": key,
-            "worker": worker,
-            "args": encode_value(tuple(args)),
-            "code": code,
-            "hash": payload_hash(worker, args),
-            "result": encode_value(result),
-        }
-        line = json.dumps(record, sort_keys=True) + "\n"
         path = self.shard_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
@@ -426,8 +447,35 @@ class CellStore:
             os.fsync(fd)
         finally:
             os.close(fd)
+
+    def append_record(self, rec: dict) -> str | None:
+        """Validate and append a prebuilt record; the problem string on reject.
+
+        The primitive behind ``import`` and the networked store server's
+        ``publish`` op: every record is re-checked with
+        :func:`record_problem` before it touches a shard, so a tampered
+        client (or transit corruption) can never plant a record whose
+        key does not re-derive from its payload.  Does not count as a
+        local publish and never touches leases.
+        """
+        problem = record_problem(rec)
+        if problem is not None:
+            return problem
+        self._append_record_line(rec["k"], json.dumps(rec, sort_keys=True) + "\n")
+        return None
+
+    def publish(
+        self, worker: str, args: _t.Sequence[_t.Any], result: _t.Any
+    ) -> bool:
+        """Append one result record; False when the worker is uncacheable."""
+        record = build_record(worker, args, result)
+        if record is None:
+            return False
+        self._append_record_line(
+            record["k"], json.dumps(record, sort_keys=True) + "\n"
+        )
         self.published += 1
-        self._release(key)  # the published record supersedes our claim
+        self._release(record["k"])  # the published record supersedes our claim
         return True
 
     def banner(self) -> str:
@@ -458,18 +506,27 @@ class CellStore:
     def try_lease(self, worker: str, args: _t.Sequence[_t.Any]) -> bool:
         """Claim the right to compute ``(worker, args)``; False: a peer has it.
 
+        Uncacheable workers have no content address and therefore no
+        lease: ``True``, just run it.  See :meth:`try_lease_key` for the
+        claim protocol.
+        """
+        key = self._lease_key(worker, args)
+        if key is None:
+            return True
+        return self.try_lease_key(key)
+
+    def try_lease_key(self, key: str) -> bool:
+        """Claim the lease for content address ``key``; False: a peer has it.
+
         The claim is an ``O_CREAT | O_EXCL`` lease file named by the
         cell's content address — the same lockless append-only
         filesystem discipline publishes use, so any number of executors
         (processes, hosts on a shared filesystem) race safely.  A lease
         older than the TTL is presumed orphaned (its owner crashed
-        without publishing) and taken over via an atomic replace that is
-        confirmed by reading the file back.  Uncacheable workers have no
-        content address and therefore no lease: ``True``, just run it.
+        without publishing) and taken over through
+        :meth:`_take_over_stale`, whose exclusive-marker protocol
+        guarantees at most one racer wins.
         """
-        key = self._lease_key(worker, args)
-        if key is None:
-            return True
         path = self.lease_path(key)
         payload = json.dumps({"owner": self._owner, "k": key}, sort_keys=True)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -478,24 +535,65 @@ class CellStore:
         except FileExistsError:
             if not self._lease_stale(path):
                 return False
-            # Orphaned lease: replace atomically, then confirm we won
-            # (two takeover racers both replace; the last write wins and
-            # only the owner named in the file holds the lease).
-            tmp = path.with_suffix(f".{os.getpid()}.tmp")
-            tmp.write_text(payload, encoding="utf-8")
-            os.replace(tmp, path)
-            try:
-                won = json.loads(path.read_text(encoding="utf-8")).get("owner") == self._owner
-            except (OSError, json.JSONDecodeError):
-                won = False
-            if won:
-                self.takeovers += 1
-                self._held.add(key)
-            return won
+            return self._take_over_stale(path, key, payload)
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
             fh.write(payload)
         self._held.add(key)
         return True
+
+    def _take_over_stale(
+        self, path: pathlib.Path, key: str, payload: str
+    ) -> bool:
+        """Atomically take over a stale lease; True only for one winner.
+
+        The old protocol (write a tmp file, ``os.replace`` it over the
+        lease, read back to confirm) was last-write-wins: two racers
+        that both replaced *before* either read back each saw their own
+        payload and both claimed the lease.  The fix is an exclusive
+        takeover **marker** (``<key>.takeover``, ``O_CREAT | O_EXCL``):
+
+        1. only one racer can create the marker — everyone else loses
+           immediately;
+        2. the marker holder re-checks that the lease is *still* stale
+           (a racer that completed a takeover in the meantime has
+           refreshed it — backing off here is what closes the old
+           protocol's double-win window);
+        3. the stale lease is unlinked and a fresh one created with the
+           normal ``O_EXCL`` path, so even a brand-new claimant sneaking
+           into the gap demotes us to a loser instead of being
+           clobbered;
+        4. the marker is removed (markers are TTL-reaped by ``gc``
+           should a holder crash between 1 and 4).
+        """
+        marker = self.leases_dir / f"{key}.takeover"
+        try:
+            mfd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            # Another racer is mid-takeover; unless its marker is itself
+            # orphaned (holder crashed), we lose.  A stale marker is
+            # removed so the *next* attempt can proceed.
+            if self._lease_stale(marker):
+                with contextlib.suppress(OSError):
+                    marker.unlink()
+            return False
+        os.close(mfd)
+        try:
+            if not self._lease_stale(path):
+                return False  # a completed takeover refreshed it first
+            with contextlib.suppress(OSError):
+                path.unlink()
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                return False  # a fresh claimant won the re-creation race
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            self.takeovers += 1
+            self._held.add(key)
+            return True
+        finally:
+            with contextlib.suppress(OSError):
+                marker.unlink()
 
     def _release(self, key: str) -> None:
         if key in self._held:
@@ -674,12 +772,14 @@ class CellStore:
                 os.fsync(fh.fileno())
             os.replace(tmp, shard)
         if not dry_run and self.leases_dir.is_dir():
-            # TTL-expired lease files are orphans (their owner is gone);
-            # reclaim them so they stop delaying future takeovers.
-            for lease in sorted(self.leases_dir.glob("*.json")):
-                if self._lease_stale(lease):
-                    with contextlib.suppress(OSError):
-                        lease.unlink()
+            # TTL-expired lease files and takeover markers are orphans
+            # (their owner is gone); reclaim them so they stop delaying
+            # future takeovers.
+            for pattern in ("*.json", "*.takeover"):
+                for lease in sorted(self.leases_dir.glob(pattern)):
+                    if self._lease_stale(lease):
+                        with contextlib.suppress(OSError):
+                            lease.unlink()
         return report
 
     def export_lines(self) -> _t.Iterator[str]:
@@ -687,15 +787,19 @@ class CellStore:
 
         Duplicates collapse last-wins; the output is deterministic for
         a given store content, so two hosts can diff their exports.
+        Streams one shard at a time: a key's 2-hex prefix names its
+        shard, so shards partition the key space, shard files sorted by
+        name yield global key order, and the working set is bounded by
+        the largest shard — never the whole store.
         """
-        records: dict[str, str] = {}
         for shard in self.shard_files():
+            records: dict[str, str] = {}
             for _lineno, line, rec in self._scan_shard(shard):
                 if rec is None or record_problem(rec) is not None:
                     continue
                 records[rec["k"]] = line
-        for key in sorted(records):
-            yield records[key]
+            for key in sorted(records):
+                yield records[key]
 
     def export(self, path: str | pathlib.Path) -> int:
         """Write :meth:`export_lines` to ``path``; returns the record count."""
@@ -714,43 +818,58 @@ class CellStore:
         is appended to its shard — a tampered export cannot plant a
         record whose key does not re-derive from its payload.  Returns
         ``(added, skipped_existing, skipped_invalid)``.
+
+        Streams the file line by line (never materializing it) with a
+        one-shard existing-keys cache, reloaded when the incoming key's
+        shard changes.  Sorted dumps (what :meth:`export` writes) load
+        each shard's keys exactly once; unsorted input stays correct,
+        just with more cache reloads.  Memory is bounded by the largest
+        shard's key set, so arbitrarily large dumps transport cleanly.
         """
         src = pathlib.Path(path)
         if not src.exists():
             raise ConfigError(f"store import file not found: {src}")
+        cached_shard: str | None = None
         existing: set[str] = set()
-        for shard in self.shard_files():
-            for _lineno, _line, rec in self._scan_shard(shard):
-                if isinstance(rec, dict) and isinstance(rec.get("k"), str):
-                    existing.add(rec["k"])
         added = skipped_existing = skipped_invalid = 0
-        for lineno, line in enumerate(
-            src.read_text(encoding="utf-8").splitlines(), start=1
-        ):
-            if not line.strip():
-                continue
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError:
-                skipped_invalid += 1
-                continue
-            if record_problem(rec) is not None:
-                skipped_invalid += 1
-                continue
-            if rec["k"] in existing:
-                skipped_existing += 1
-                continue
-            shard = self.shard_path(rec["k"])
-            shard.parent.mkdir(parents=True, exist_ok=True)
-            fd = os.open(shard, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
-            try:
-                os.write(fd, (line + "\n").encode("utf-8"))
-                os.fsync(fd)
-            finally:
-                os.close(fd)
-            existing.add(rec["k"])
-            added += 1
+        with open(src, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.rstrip("\n")
+                if not line.strip():
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    skipped_invalid += 1
+                    continue
+                if record_problem(rec) is not None:
+                    skipped_invalid += 1
+                    continue
+                prefix = rec["k"][:SHARD_WIDTH]
+                if prefix != cached_shard:
+                    cached_shard = prefix
+                    existing = set()
+                    for _lineno, _l, old in self._scan_shard(
+                        self.shard_path(rec["k"])
+                    ):
+                        if isinstance(old, dict) and isinstance(old.get("k"), str):
+                            existing.add(old["k"])
+                if rec["k"] in existing:
+                    skipped_existing += 1
+                    continue
+                self._append_record_line(rec["k"], line + "\n")
+                existing.add(rec["k"])
+                added += 1
         return added, skipped_existing, skipped_invalid
+
+    def close(self) -> None:
+        """Release resources; a no-op for the directory-backed store.
+
+        Exists so store consumers (:func:`store_scope` above all) can
+        close whatever :func:`resolve_store` handed them without
+        type-switching — the networked client's override disconnects
+        and drains its offline spool.
+        """
 
 
 # ---------------------------------------------------------------------------
@@ -761,39 +880,68 @@ _STORE: contextvars.ContextVar[CellStore | None] = contextvars.ContextVar(
     "repro_cell_store", default=None
 )
 
-#: Stores resolved from ``REPRO_STORE``, one per path, so hit/miss
+#: Stores resolved from ``REPRO_STORE``, one per spec, so hit/miss
 #: counters survive across the many ``run_cells`` calls of one process.
 _ENV_STORES: dict[str, CellStore] = {}
+
+
+def resolve_store(spec: "CellStore | str | pathlib.Path") -> CellStore:
+    """The store named by ``spec`` — a directory root or ``tcp://HOST:PORT``.
+
+    A ``tcp://`` spec resolves to a
+    :class:`repro.harness.netstore.RemoteCellStore` talking to a
+    ``repro store serve`` server (imported lazily — netstore depends on
+    this module); anything else is a local directory-backed
+    :class:`CellStore`.  Instances pass through unchanged.
+    """
+    if isinstance(spec, CellStore):
+        return spec
+    text = str(spec)
+    if text.startswith("tcp://"):
+        from repro.harness.netstore import RemoteCellStore
+
+        return RemoteCellStore(text)
+    return CellStore(spec)
 
 
 def active_store() -> CellStore | None:
     """The cell store in force, if any.
 
     An explicit :func:`store_scope` wins; otherwise ``REPRO_STORE``
-    names a store root (resolved once per path per process).  Store
-    consultation happens only in the dispatching process — pool workers
-    never touch the store, so this is free of cross-process races
-    beyond the append-safe file protocol itself.
+    names a store root or a ``tcp://HOST:PORT`` server (resolved once
+    per spec per process).  Store consultation happens only in the
+    dispatching process — pool workers never touch the store, so this
+    is free of cross-process races beyond the append-safe file protocol
+    (or the server's request serialization) itself.
     """
     store = _STORE.get()
     if store is not None:
         return store
-    path = os.environ.get("REPRO_STORE", "").strip()
-    if not path:
+    spec = os.environ.get("REPRO_STORE", "").strip()
+    if not spec:
         return None
-    store = _ENV_STORES.get(path)
+    store = _ENV_STORES.get(spec)
     if store is None:
-        store = _ENV_STORES[path] = CellStore(path)
+        store = _ENV_STORES[spec] = resolve_store(spec)
     return store
 
 
 @contextlib.contextmanager
-def store_scope(store: CellStore | str | pathlib.Path) -> _t.Iterator[CellStore]:
-    """Make ``store`` (an instance or a root path) active for the body."""
-    if not isinstance(store, CellStore):
-        store = CellStore(store)
+def store_scope(store: "CellStore | str | pathlib.Path") -> _t.Iterator[CellStore]:
+    """Make ``store`` (an instance, root path, or ``tcp://`` spec) active.
+
+    A store *resolved here* (passed as a spec rather than an instance)
+    is closed on exit — for a remote store that disconnects and drains
+    any offline spool; instances passed in stay open, their lifecycle
+    belongs to the caller.
+    """
+    owned = not isinstance(store, CellStore)
+    if owned:
+        store = resolve_store(store)
     token = _STORE.set(store)
     try:
         yield store
     finally:
         _STORE.reset(token)
+        if owned:
+            store.close()

@@ -48,7 +48,7 @@ import traceback
 import typing as _t
 from concurrent.futures import Future
 
-from repro.errors import ConfigError, RemoteCellError, ReproError
+from repro.errors import ConfigError, RemoteCellError, ReproError, UnavailableError
 from repro.harness.executor import (
     CellExecutor,
     WorkerLostError,
@@ -100,13 +100,25 @@ def send_frame(
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
-    chunks = []
-    while n:
-        chunk = sock.recv(min(n, 1 << 20))
+    """Exactly ``n`` bytes; ``None`` on a clean EOF before the first byte.
+
+    EOF after a *partial* read is torn input — a peer that died
+    mid-frame or a proxy that truncated it — and raises instead of
+    masquerading as a clean close, so a truncated length prefix can
+    never be mistaken for an orderly goodbye.
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
         if not chunk:
-            return None
+            if not chunks:
+                return None
+            raise ConnectionError(
+                f"connection closed after {got} of {n} byte(s)"
+            )
         chunks.append(chunk)
-        n -= len(chunk)
+        got += len(chunk)
     return b"".join(chunks)
 
 
@@ -158,7 +170,7 @@ def _decode_error(error: dict) -> BaseException:
 # ---------------------------------------------------------------------------
 
 def run_worker(
-    host: str, port: int, *, heartbeat: float = 2.0
+    host: str, port: int, *, heartbeat: float = 2.0, connect_retries: int = 5
 ) -> int:
     """Serve cells from a coordinator until it says goodbye.
 
@@ -169,13 +181,30 @@ def run_worker(
     :func:`repro.harness.parallel._execute`.  Worker-function exceptions
     are reported back as structured error frames; only transport death
     ends the loop.  Returns a process exit code.
+
+    The initial connection retries with bounded backoff
+    (``connect_retries`` retries after the first attempt) instead of
+    dying on connection-refused: in a ``tcp:...,spawn=N`` loopback
+    fleet the spawned workers routinely beat the coordinator's listener
+    to the port, and that startup race must cost a back-off, not a
+    worker.
     """
     from repro.harness import parallel
+    from repro.harness.resilience import RetryPolicy, connect_with_retry
 
+    policy = RetryPolicy(
+        attempts=max(1, connect_retries + 1),
+        base_delay=0.1,
+        max_delay=2.0,
+        deadline=10.0,
+    )
     try:
-        sock = socket.create_connection((host, port), timeout=10.0)
-    except OSError as exc:
-        raise ConfigError(f"cannot connect to coordinator {host}:{port}: {exc}") from exc
+        sock = connect_with_retry(host, port, policy=policy)
+    except UnavailableError as exc:
+        raise ConfigError(
+            f"cannot connect to coordinator {host}:{port} after "
+            f"{policy.attempts} attempt(s): {exc.__cause__ or exc}"
+        ) from exc
     sock.settimeout(None)
     parallel._IS_POOL_WORKER = True  # lint-ok: DET007 transport marker, mirrors _pool_worker_init
     wlock = threading.Lock()

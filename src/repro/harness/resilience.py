@@ -1,0 +1,269 @@
+"""Network-call resilience: deadlines, bounded backoff, circuit breakers.
+
+Every piece of the harness that talks over a wire — the remote
+cell-store client (:mod:`repro.harness.netstore`) and the work-queue
+coordinator/worker links (:mod:`repro.harness.netqueue`) — routes its
+I/O through the primitives here instead of calling ``socket`` raw:
+
+* **deadline-bounded calls** — every attempt carries a socket timeout
+  from the policy, so a severed or black-holed connection costs a
+  bounded wait, never a hang;
+* **bounded exponential backoff with deterministic jitter** — retry
+  delays grow geometrically up to a cap, with jitter derived from a
+  seeded hash of ``(seed, token, attempt)`` rather than a global RNG,
+  so two runs of the same sweep retry on the very same schedule (the
+  repo-wide determinism discipline applied to failure handling);
+* **per-endpoint circuit breaker** — after ``threshold`` *consecutive*
+  failures the breaker opens and calls fail instantly
+  (:class:`~repro.errors.CircuitOpenError`, no network I/O) until a
+  cooldown elapses, then a single half-open probe decides between
+  closing it and re-opening it.  A flapping endpoint therefore costs
+  one bounded probe per cooldown instead of a full retry ladder per
+  call.
+
+None of this changes any simulation result: resilience wraps transport
+only, and the callers that use it degrade to local execution (with a
+crash-safe spool) when an endpoint stays down — see
+``docs/resilience.md`` for the failure-model matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import socket
+import time
+import typing as _t
+
+from repro.errors import CircuitOpenError, ConfigError, UnavailableError
+
+#: Exception families that mean "the transport failed" (retryable).
+TRANSPORT_ERRORS: tuple[type[BaseException], ...] = (OSError, ConnectionError)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounds for one logical network call.
+
+    ``attempts``
+        Total tries (first call + retries).
+    ``base_delay`` / ``max_delay``
+        The backoff ladder: delay before retry *k* (1-based) is
+        ``min(base_delay * 2**(k-1), max_delay)``, jittered.
+    ``jitter``
+        Fraction of each delay replaced by deterministic jitter: the
+        actual delay is ``delay * (1 - jitter + jitter * u)`` with
+        ``u in [0, 1)`` derived from ``(seed, token, attempt)``.
+    ``deadline``
+        Per-attempt socket timeout in seconds (connect and each
+        send/recv); a hung endpoint costs at most this per attempt.
+    ``seed``
+        Jitter seed — fixed per client, so retry schedules are
+        reproducible run to run.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    deadline: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ConfigError(f"attempts must be >= 1: {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ConfigError(
+                f"bad backoff ladder: base={self.base_delay}, max={self.max_delay}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1]: {self.jitter}")
+        if self.deadline <= 0:
+            raise ConfigError(f"deadline must be > 0: {self.deadline}")
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """The jittered backoff delay before retry ``attempt`` (1-based).
+
+        Deterministic: the jitter fraction comes from a SHA-256 of
+        ``(seed, token, attempt)``, never from a shared RNG, so the
+        schedule is a pure function of the policy and the call site.
+        """
+        if attempt < 1:
+            return 0.0
+        raw = min(self.base_delay * (2.0 ** (attempt - 1)), self.max_delay)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        blob = f"{self.seed}:{token}:{attempt}".encode("utf-8")
+        u = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") / 2.0**64
+        return raw * (1.0 - self.jitter + self.jitter * u)
+
+    def delays(self, token: str = "") -> list[float]:
+        """All backoff delays this policy would sleep, in order."""
+        return [self.delay(k, token) for k in range(1, self.attempts)]
+
+
+class CircuitBreaker:
+    """Per-endpoint failure fuse with a half-open recovery probe.
+
+    States: **closed** (calls flow; consecutive failures counted),
+    **open** (calls refused instantly until ``cooldown`` seconds pass),
+    **half-open** (exactly one probe call allowed; success closes the
+    breaker, failure re-opens it for another cooldown).  The clock is
+    injectable for tests; the default is ``time.monotonic`` — transport
+    liveness only, never part of any simulation result.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        threshold: int = 5,
+        cooldown: float = 2.0,
+        clock: _t.Callable[[], float] | None = None,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigError(f"threshold must be >= 1: {threshold}")
+        if cooldown <= 0:
+            raise ConfigError(f"cooldown must be > 0: {cooldown}")
+        self.name = name
+        self.threshold = threshold
+        self.cooldown = cooldown
+        # Wall-clock liveness only (breaker cooldowns), never in results.
+        self._clock = clock if clock is not None else time.monotonic
+        self._failures = 0  # consecutive
+        self._opened_at: float | None = None
+        self._probing = False
+        #: Times the breaker has tripped open (banner accounting).
+        self.opened = 0
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._probing:
+            return "half-open"
+        if self._clock() - self._opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In the half-open state only the *first* caller gets a probe;
+        concurrent callers are refused until the probe settles.
+        """
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "open":
+            return False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._opened_at is not None:
+            # A failed half-open probe: re-open for a fresh cooldown.
+            self._opened_at = self._clock()
+            self._probing = False
+            self.opened += 1
+        elif self._failures >= self.threshold:
+            self._opened_at = self._clock()
+            self._probing = False
+            self.opened += 1
+
+    def describe(self) -> str:
+        label = f"breaker({self.name})" if self.name else "breaker"
+        return f"{label}: {self.state}, {self.opened} open(s)"
+
+
+_T = _t.TypeVar("_T")
+
+
+def retry_call(
+    fn: _t.Callable[[], _T],
+    *,
+    policy: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    token: str = "",
+    retry_on: tuple[type[BaseException], ...] = TRANSPORT_ERRORS,
+    sleep: _t.Callable[[float], None] = time.sleep,
+    on_retry: _t.Callable[[int, BaseException], None] | None = None,
+) -> _T:
+    """Call ``fn`` under the retry policy and (optionally) a breaker.
+
+    Raises :class:`~repro.errors.CircuitOpenError` without touching the
+    network when the breaker refuses the call, and
+    :class:`~repro.errors.UnavailableError` (chaining the last
+    transport error) when every attempt failed.  Success and failure
+    are reported to the breaker; non-transport exceptions propagate
+    immediately and count as breaker failures only if they are
+    transport errors (they are not).
+    """
+    policy = policy or RetryPolicy()
+    if breaker is not None and not breaker.allow():
+        raise CircuitOpenError(
+            f"circuit breaker {breaker.name or token or '?'} is open "
+            f"({breaker.threshold} consecutive failure(s); retry after "
+            f"{breaker.cooldown:g}s cooldown)"
+        )
+    last: BaseException | None = None
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            result = fn()
+        except retry_on as exc:
+            last = exc
+            if breaker is not None:
+                breaker.record_failure()
+            if attempt < policy.attempts:
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(policy.delay(attempt, token))
+            continue
+        if breaker is not None:
+            breaker.record_success()
+        return result
+    raise UnavailableError(
+        f"{token or 'endpoint'} unavailable after {policy.attempts} "
+        f"attempt(s): {last}"
+    ) from last
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    *,
+    policy: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    sleep: _t.Callable[[float], None] = time.sleep,
+    on_retry: _t.Callable[[int, BaseException], None] | None = None,
+) -> socket.socket:
+    """A connected TCP socket, retried under the policy.
+
+    Each attempt is deadline-bounded by ``policy.deadline``; the
+    returned socket keeps that deadline as its timeout, so subsequent
+    sends/recvs on it are bounded too.  This is what fixes the
+    coordinator/worker startup race in loopback fleets: a worker that
+    comes up a beat before its coordinator listens simply backs off and
+    tries again instead of dying on connection-refused.
+    """
+    policy = policy or RetryPolicy()
+
+    def _connect() -> socket.socket:
+        return socket.create_connection((host, port), timeout=policy.deadline)
+
+    return retry_call(
+        _connect,
+        policy=policy,
+        breaker=breaker,
+        token=f"{host}:{port}",
+        sleep=sleep,
+        on_retry=on_retry,
+    )

@@ -358,6 +358,7 @@ def _run_supervised(
     store = _active_store()
     tasks: list[_Task] = []
     deferred: list["Cell"] = []
+    remaining: list[_Task] = []
     for c in cells:
         digest = payload_hash(c.worker, c.args)
         code = _code_fingerprint(c.worker, fingerprints) if want_code else None
@@ -376,21 +377,26 @@ def _run_supervised(
                 results[c.key] = entry.result
                 stats.journal_hits += 1
                 continue
-        if store is not None:
-            from repro.harness.cellstore import MISS
-
-            value = store.lookup(c.worker, c.args)
-            if value is not MISS:
-                results[c.key] = value
+        remaining.append(_Task(c, digest, code))
+    if store is not None and remaining:
+        # One store-aware scheduling pass for the whole sweep (a single
+        # batched round trip per chunk for a networked store, instead
+        # of two per cell): served results land directly, won leases
+        # become our tasks, and lost leases — a peer executor sharing
+        # this store is computing that cell right now — defer to
+        # await_peer after our own dispatch.
+        plan = store.plan_cells([t.cell for t in remaining])
+        deferred_keys = {c.key for c in plan.deferred}
+        for t in remaining:
+            if t.cell.key in plan.served:
+                results[t.cell.key] = plan.served[t.cell.key]
                 stats.store_hits += 1
-                continue
-            if not store.try_lease(c.worker, c.args):
-                # Store-aware scheduling: another executor sharing this
-                # store holds the lease — await its result instead of
-                # computing the cell a second time.
-                deferred.append(c)
-                continue
-        tasks.append(_Task(c, digest, code))
+            elif t.cell.key in deferred_keys:
+                deferred.append(t.cell)
+            else:
+                tasks.append(t)
+    else:
+        tasks = remaining
 
     jobs_n = resolve_jobs(jobs)
     backend = executor if executor is not None else active_executor()

@@ -402,6 +402,106 @@ class TestLeases:
         store.gc()
         assert not lease.exists()
 
+    def _stale_lease(self, store, args=(1,)):
+        """A lease whose owner 'crashed' long past the TTL; its path."""
+        assert store.try_lease("cs_count", args)
+        store._held.clear()  # the crashed owner is not *us*
+        [lease] = list(store.leases_dir.iterdir())
+        old = time.time() - 60.0
+        os.utime(lease, (old, old))
+        return lease
+
+    def test_takeover_race_has_exactly_one_winner(self, tmp_path,
+                                                  fake_fingerprints):
+        # Regression: the old tmp-file + os.replace + read-back protocol
+        # was last-write-wins — two racers that both replaced before
+        # either read back each saw their own payload and BOTH claimed
+        # the stale lease.  The exclusive-marker protocol must admit
+        # exactly one winner no matter how many racers pile on.
+        import threading
+
+        self._stale_lease(CellStore(tmp_path / "store", lease_ttl=5.0))
+        racers = [CellStore(tmp_path / "store", lease_ttl=5.0)
+                  for _ in range(8)]
+        barrier = threading.Barrier(len(racers))
+        wins: list[bool] = [False] * len(racers)
+
+        def race(i):
+            barrier.wait()
+            wins[i] = racers[i].try_lease("cs_count", (1,))
+
+        threads = [threading.Thread(target=race, args=(i,))
+                   for i in range(len(racers))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(wins) == 1
+        # Usually the marker holder; rarely a fresh claimant slips into
+        # the unlink/re-create gap and the marker holder demotes itself
+        # (step 3) — either way never more than one takeover.
+        assert sum(r.takeovers for r in racers) <= 1
+        # The fresh lease now excludes everyone, including re-tries.
+        late = CellStore(tmp_path / "store", lease_ttl=5.0)
+        assert not late.try_lease("cs_count", (1,))
+
+    def test_takeover_loses_to_an_active_marker(self, tmp_path,
+                                                fake_fingerprints):
+        # A racer mid-takeover holds the marker; everyone else must back
+        # off instead of proceeding to clobber the winner's fresh lease.
+        store = CellStore(tmp_path / "store", lease_ttl=5.0)
+        lease = self._stale_lease(store)
+        key = lease.name[:-len(".json")]
+        marker = store.leases_dir / f"{key}.takeover"
+        marker.touch()
+        b = CellStore(tmp_path / "store", lease_ttl=5.0)
+        assert not b.try_lease("cs_count", (1,))
+        assert b.takeovers == 0
+        marker.unlink()  # the holder finished (or was reaped)
+        assert b.try_lease("cs_count", (1,))
+        assert b.takeovers == 1
+
+    def test_takeover_backs_off_if_lease_was_refreshed(self, tmp_path,
+                                                       fake_fingerprints):
+        # The marker winner re-checks staleness: if a completed takeover
+        # refreshed the lease between our stale check and our marker
+        # win, we must NOT steal it — that re-check is what closes the
+        # old protocol's double-win window.
+        store = CellStore(tmp_path / "store", lease_ttl=5.0)
+        lease = self._stale_lease(store)
+        key = lease.name[:-len(".json")]
+        winner = CellStore(tmp_path / "store", lease_ttl=5.0)
+        assert winner.try_lease("cs_count", (1,))  # lease is now fresh
+        before = lease.read_text()
+        late = CellStore(tmp_path / "store", lease_ttl=5.0)
+        payload = json.dumps({"owner": late._owner, "k": key}, sort_keys=True)
+        assert not late._take_over_stale(lease, key, payload)
+        assert lease.read_text() == before  # winner's lease untouched
+        assert not (store.leases_dir / f"{key}.takeover").exists()
+
+    def test_orphaned_takeover_marker_is_cleared(self, tmp_path,
+                                                 fake_fingerprints):
+        # A racer that crashed between creating the marker and removing
+        # it must not wedge the cell forever: a TTL-stale marker is
+        # swept by the next attempt (which loses) and by gc.
+        store = CellStore(tmp_path / "store", lease_ttl=5.0)
+        lease = self._stale_lease(store)
+        key = lease.name[:-len(".json")]
+        marker = store.leases_dir / f"{key}.takeover"
+        marker.touch()
+        old = time.time() - 60.0
+        os.utime(marker, (old, old))  # its holder crashed long ago
+        b = CellStore(tmp_path / "store", lease_ttl=5.0)
+        assert not b.try_lease("cs_count", (1,))  # this attempt loses...
+        assert not marker.exists()                # ...but clears the wreck
+        assert b.try_lease("cs_count", (1,))      # the next one wins
+        # gc sweeps orphaned markers too.
+        marker2 = store.leases_dir / ("ff" * 32 + ".takeover")
+        marker2.touch()
+        os.utime(marker2, (old, old))
+        store.gc()
+        assert not marker2.exists()
+
 
 # ---------------------------------------------------------------------------
 # Two executors, one store: the never-compute-twice guarantee
@@ -582,6 +682,44 @@ class TestMaintenance:
     def test_export_is_deterministic(self, tmp_path, fake_fingerprints):
         store = self._populated(tmp_path, fake_fingerprints)
         assert list(store.export_lines()) == list(store.export_lines())
+
+    def test_export_streams_in_global_key_order(self, tmp_path,
+                                                fake_fingerprints):
+        # export_lines holds one shard at a time; that is only sound
+        # because a key's 2-hex prefix names its shard, so walking
+        # shard files in name order yields globally sorted keys.  This
+        # is the invariant that keeps export memory bounded by the
+        # largest shard instead of the whole store.
+        store = CellStore(tmp_path / "store")
+        for x in range(20):  # enough keys to populate several shards
+            store.publish("cs_count", (x,), {"v": float(x)})
+        keys = [json.loads(line)["k"] for line in store.export_lines()]
+        assert len(keys) == 20
+        assert keys == sorted(keys)
+        assert len(store.shard_files()) > 1  # the claim is non-vacuous
+
+    def test_import_streams_unsorted_dumps(self, tmp_path,
+                                           fake_fingerprints):
+        # import_file reads line by line with a one-shard key cache;
+        # unsorted input (worst case for the cache) must still land
+        # every record exactly once and dedupe across cache reloads.
+        store = CellStore(tmp_path / "store")
+        for x in range(20):
+            store.publish("cs_count", (x,), {"v": float(x)})
+        lines = list(store.export_lines())
+        shuffled = list(reversed(lines))  # anti-sorted: reload per line
+        dup_key = json.loads(lines[0])["k"]
+        shuffled.append(lines[0])  # a duplicate after many reloads
+        dump = tmp_path / "dump.jsonl"
+        dump.write_text("\n".join(shuffled) + "\n")
+        other = CellStore(tmp_path / "other")
+        assert other.import_file(dump) == (20, 1, 0)
+        assert other.verify().clean
+        assert [json.loads(l)["k"] for l in other.export_lines()] == sorted(
+            json.loads(l)["k"] for l in lines
+        )
+        assert other.lookup("cs_count", (7,)) == {"v": 7.0}
+        assert dup_key in {json.loads(l)["k"] for l in other.export_lines()}
 
 
 # ---------------------------------------------------------------------------

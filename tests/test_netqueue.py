@@ -59,14 +59,40 @@ class TestFraming:
             b.close()
 
     def test_mid_frame_close_raises(self):
+        # A peer dying between the header and the end of the body is
+        # torn input, never a clean goodbye.
         a, b = socket.socketpair()
         try:
             a.sendall(b"\x00\x00\x00\x10partial")
             a.close()
-            with pytest.raises(ConnectionError, match="mid-frame"):
+            with pytest.raises(ConnectionError, match="7 of 16 byte"):
                 recv_frame(b)
         finally:
             b.close()
+
+    def test_truncated_length_prefix_raises(self):
+        # Torn even earlier: EOF inside the 4-byte length prefix itself.
+        # This must raise, not masquerade as a clean end-of-stream —
+        # a coordinator that treated it as EOF would silently drop a
+        # worker's final result.
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00")
+            a.close()
+            with pytest.raises(ConnectionError, match="2 of 4 byte"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_non_object_payload_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            body = b'[1, 2, 3]'
+            a.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(ConnectionError, match="malformed"):
+                recv_frame(b)
+        finally:
+            a.close(); b.close()
 
     def test_oversized_frame_rejected(self):
         a, b = socket.socketpair()

@@ -1,0 +1,261 @@
+"""Tests for the network-resilience primitives.
+
+Backoff determinism (same seed/token → same schedule), the circuit
+breaker's closed/open/half-open lifecycle under an injected clock, and
+``retry_call``'s contract: bounded attempts, breaker accounting, fast
+refusal while open, and non-transport exceptions passing straight
+through.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    StoreUnavailableError,
+    UnavailableError,
+)
+from repro.harness.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    connect_with_retry,
+    retry_call,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_backoff_ladder_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.1, max_delay=0.4,
+                             jitter=0.5, seed=7)
+        once = policy.delays("endpoint-a")
+        again = policy.delays("endpoint-a")
+        assert once == again  # pure function of (policy, token)
+        assert len(once) == 5  # one delay per retry, none after the last
+        # Jitter shaves at most `jitter` off each rung, never adds.
+        raw = [0.1, 0.2, 0.4, 0.4, 0.4]
+        for got, ceiling in zip(once, raw):
+            assert ceiling * 0.5 <= got <= ceiling
+
+    def test_token_and_seed_move_the_jitter(self):
+        policy = RetryPolicy(attempts=4, jitter=0.5, seed=1)
+        other_seed = RetryPolicy(attempts=4, jitter=0.5, seed=2)
+        assert policy.delays("a") != policy.delays("b")
+        assert policy.delays("a") != other_seed.delays("a")
+
+    def test_zero_jitter_is_the_raw_ladder(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.05, max_delay=10.0,
+                             jitter=0.0)
+        assert policy.delays("x") == [0.05, 0.1, 0.2]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"attempts": 0},
+        {"base_delay": -1.0},
+        {"base_delay": 2.0, "max_delay": 1.0},
+        {"jitter": 1.5},
+        {"deadline": 0.0},
+    ])
+    def test_rejects_bad_bounds(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("ep", threshold=3, cooldown=5.0, clock=clock)
+        assert breaker.state == "closed"
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"  # not yet: threshold is 3
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opened == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # failures were not consecutive
+
+    def test_half_open_probe_single_flight_then_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 10.0  # cooldown elapsed
+        assert breaker.state == "half-open"
+        assert breaker.allow()       # the single probe
+        assert not breaker.allow()   # concurrent callers wait it out
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_a_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == "open"
+        assert breaker.opened == 2
+        clock.now = 19.0
+        assert not breaker.allow()  # fresh cooldown from the probe failure
+        clock.now = 20.0
+        assert breaker.allow()
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(cooldown=0.0)
+
+
+# ---------------------------------------------------------------------------
+# retry_call
+# ---------------------------------------------------------------------------
+
+class TestRetryCall:
+    def test_retries_then_succeeds(self):
+        calls = []
+        slept = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConnectionRefusedError("not yet")
+            return "ok"
+
+        policy = RetryPolicy(attempts=4, base_delay=0.1, jitter=0.0)
+        assert retry_call(flaky, policy=policy, token="t",
+                          sleep=slept.append) == "ok"
+        assert len(calls) == 3
+        assert slept == [0.1, 0.2]  # only the failed attempts back off
+
+    def test_exhausted_attempts_raise_unavailable_with_cause(self):
+        def dead():
+            raise ConnectionRefusedError("nope")
+
+        policy = RetryPolicy(attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(UnavailableError) as err:
+            retry_call(dead, policy=policy, token="ep", sleep=lambda s: None)
+        assert isinstance(err.value.__cause__, ConnectionRefusedError)
+        assert "3 attempt(s)" in str(err.value)
+
+    def test_breaker_accounting_and_fast_refusal(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("ep", threshold=4, cooldown=60.0, clock=clock)
+        policy = RetryPolicy(attempts=2, base_delay=0.0, jitter=0.0)
+
+        def dead():
+            raise ConnectionResetError("gone")
+
+        with pytest.raises(UnavailableError):
+            retry_call(dead, policy=policy, breaker=breaker,
+                       sleep=lambda s: None)
+        with pytest.raises(UnavailableError):
+            retry_call(dead, policy=policy, breaker=breaker,
+                       sleep=lambda s: None)
+        assert breaker.state == "open"  # 4 consecutive failures across calls
+
+        calls = []
+        with pytest.raises(CircuitOpenError):
+            retry_call(lambda: calls.append(1), policy=policy,
+                       breaker=breaker, sleep=lambda s: None)
+        assert calls == []  # refused without touching the "network"
+
+    def test_success_closes_the_loop_via_half_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("ep", threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 5.0
+        policy = RetryPolicy(attempts=1)
+        assert retry_call(lambda: "ok", policy=policy, breaker=breaker,
+                          sleep=lambda s: None) == "ok"
+        assert breaker.state == "closed"
+
+    def test_non_transport_exceptions_propagate_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("a bug, not a flaky wire")
+
+        with pytest.raises(ValueError):
+            retry_call(broken, policy=RetryPolicy(attempts=5),
+                       sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_error_hierarchy(self):
+        # Degradation code catches UnavailableError once for all three.
+        assert issubclass(CircuitOpenError, UnavailableError)
+        assert issubclass(StoreUnavailableError, UnavailableError)
+
+
+# ---------------------------------------------------------------------------
+# connect_with_retry
+# ---------------------------------------------------------------------------
+
+class TestConnectWithRetry:
+    def test_connects_after_listener_appears(self):
+        # The coordinator/worker startup race in miniature: grab a port,
+        # close it (nothing listening), and only start listening after
+        # the first attempt has already failed.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        listener = socket.socket()
+        attempts = []
+
+        def open_listener_late(attempt, exc):
+            attempts.append(attempt)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(("127.0.0.1", port))
+            listener.listen(1)
+
+        policy = RetryPolicy(attempts=4, base_delay=0.0, jitter=0.0,
+                             deadline=2.0)
+        sock = connect_with_retry("127.0.0.1", port, policy=policy,
+                                  sleep=lambda s: None,
+                                  on_retry=open_listener_late)
+        try:
+            assert attempts == [1]  # failed once, then the retry connected
+        finally:
+            sock.close()
+            listener.close()
+
+    def test_refused_forever_raises_unavailable(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        policy = RetryPolicy(attempts=2, base_delay=0.0, jitter=0.0,
+                             deadline=0.5)
+        with pytest.raises(UnavailableError):
+            connect_with_retry("127.0.0.1", port, policy=policy,
+                               sleep=lambda s: None)
